@@ -1,0 +1,36 @@
+"""Ablation (paper section 8): multiple devices sharing one FM band.
+
+The discussion proposes ALOHA-style sharing when devices cannot use
+different ``fback`` values; this bench sweeps offered load and shows the
+classic slotted-ALOHA throughput curve peaking near 1/e.
+"""
+
+import numpy as np
+
+from conftest import print_series, run_once
+from repro.data.mac import SlottedAlohaSimulator
+
+
+def aloha_sweep(n_devices=10, n_slots=50_000):
+    probabilities = (0.02, 0.05, 0.1, 0.2, 0.4)
+    throughputs = [
+        SlottedAlohaSimulator(n_devices, p).run(n_slots, rng=7).throughput
+        for p in probabilities
+    ]
+    return {
+        "probabilities": list(probabilities),
+        "throughputs": throughputs,
+        "peak": max(throughputs),
+    }
+
+
+def test_aloha_throughput_curve(benchmark):
+    result = run_once(benchmark, aloha_sweep)
+    print_series("Ablation: slotted ALOHA sharing", result)
+    t = dict(zip(result["probabilities"], result["throughputs"]))
+    # Throughput peaks near p = 1/N = 0.1 and collapses under overload.
+    assert t[0.1] > t[0.02]
+    assert t[0.1] > t[0.4]
+    # The peak approaches but cannot exceed 1/e.
+    assert result["peak"] < 0.40
+    assert result["peak"] > 0.30

@@ -1,0 +1,32 @@
+"""Fig. 4 — FM channel usage across five US cities.
+
+Paper: a large fraction of the 100 channels is unoccupied; the median
+minimum shift frequency is 200 kHz and the worst case stays under 800 kHz.
+"""
+
+from conftest import print_series, run_once
+from repro.experiments import fig04_occupancy
+from repro.survey.stations import CITY_PROFILES
+
+
+def test_fig04_station_counts_and_min_shift(benchmark):
+    result = run_once(benchmark, fig04_occupancy.run, rng=2017)
+    summary = {
+        city: (
+            f"licensed={result[city]['licensed']} "
+            f"detectable={result[city]['detectable']} "
+            f"median_shift={result[city]['median_shift_khz']:.0f}kHz "
+            f"max_shift={result[city]['max_shift_khz']:.0f}kHz"
+        )
+        for city in CITY_PROFILES
+    }
+    summary["pooled median (paper 200 kHz)"] = result["median_shift_khz"]
+    summary["pooled max (paper < 800 kHz)"] = result["max_shift_khz"]
+    print_series("Fig. 4 occupancy", summary)
+
+    # Panel (a): counts match the figure's encodings exactly.
+    assert result["Chicago"]["licensed"] > result["Chicago"]["detectable"]
+    assert result["Seattle"]["detectable"] > result["Seattle"]["licensed"]
+    # Panel (b): median shift one channel, bounded worst case.
+    assert result["median_shift_khz"] == 200.0
+    assert result["max_shift_khz"] <= 800.0

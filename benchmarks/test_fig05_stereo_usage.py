@@ -1,0 +1,26 @@
+"""Fig. 5 — stereo-stream power by program format.
+
+Paper: news/talk stations leave the stereo (L-R) band nearly empty (same
+speech in both channels); music stations fill it — the opening for stereo
+backscatter.
+"""
+
+import numpy as np
+
+from conftest import print_series, run_once
+from repro.experiments import fig05_stereo_usage
+
+
+def test_fig05_stereo_band_ratios(benchmark):
+    result = run_once(
+        benchmark, fig05_stereo_usage.run, n_snapshots=6, snapshot_seconds=1.0, rng=2017
+    )
+    print_series(
+        "Fig. 5 stereo/guard power ratio (dB)",
+        {p: result[p]["median_db"] for p in ("news", "mixed", "pop", "rock")},
+    )
+    medians = {p: result[p]["median_db"] for p in result}
+    # Shape: news lowest, music formats highest, mixed in between.
+    assert medians["news"] < medians["mixed"] < max(medians["pop"], medians["rock"])
+    assert medians["news"] < medians["pop"] - 5
+    assert medians["news"] < medians["rock"] - 5

@@ -1,0 +1,36 @@
+"""Fig. 6 — receiver SNR versus backscattered tone frequency.
+
+Paper: the smartphone chain is flat below ~13 kHz, then falls off a
+cliff; both the mono band and the stereo (L-R) band carry tones usably.
+"""
+
+import numpy as np
+
+from conftest import print_series, run_once
+from repro.experiments import fig06_freq_response
+
+
+def test_fig06_frequency_response(benchmark):
+    freqs = (1000, 4000, 8000, 12000, 14500)
+    result = run_once(
+        benchmark,
+        fig06_freq_response.run,
+        freqs_hz=freqs,
+        power_dbm=-20.0,
+        distance_ft=4.0,
+        duration_s=0.4,
+        rng=2017,
+    )
+    print_series("Fig. 6 SNR vs frequency", result)
+    mono = dict(zip(result["freq_hz"], result["mono_snr_db"]))
+    stereo = dict(zip(result["freq_hz"], result["stereo_snr_db"]))
+
+    # Flat, usable response through 12 kHz in the mono band...
+    for f in (1000, 4000, 8000, 12000):
+        assert mono[f] > 15.0, f"mono response at {f} Hz should be usable"
+    # ...then the cliff above ~13 kHz.
+    assert mono[14500] < mono[12000] - 20.0
+    # The stereo band also carries tones (Fig. 6's second curve).
+    for f in (1000, 4000, 8000):
+        assert stereo[f] > 10.0, f"stereo response at {f} Hz should be usable"
+    assert stereo[14500] < stereo[8000] - 15.0

@@ -1,0 +1,34 @@
+"""Fig. 7 — received SNR versus power and distance.
+
+Paper: at -30 dBm the link reaches 20 ft; at -50 dBm the SNR is still
+reasonable at close range; curves order by ambient power.
+"""
+
+import numpy as np
+
+from conftest import print_series, run_once
+from repro.experiments import fig07_snr_distance
+
+
+def test_fig07_snr_vs_power_and_distance(benchmark):
+    distances = (1, 4, 8, 16, 20)
+    result = run_once(
+        benchmark,
+        fig07_snr_distance.run,
+        powers_dbm=(-20.0, -30.0, -50.0),
+        distances_ft=distances,
+        duration_s=0.4,
+        rng=2017,
+    )
+    print_series("Fig. 7 SNR vs distance", result)
+
+    # Paper shape: -30 dBm usable at 20 ft.
+    assert result["P-30"][-1] > 15.0
+    # -50 dBm still reasonable at close range.
+    assert result["P-50"][0] > 20.0
+    # SNR decreases with distance for the weak-signal curve.
+    assert result["P-50"][0] > result["P-50"][-1]
+    # Higher ambient power never loses to lower at the same distance
+    # (tolerance for noise in the estimate).
+    for i in range(len(distances)):
+        assert result["P-20"][i] >= result["P-50"][i] - 3.0

@@ -1,0 +1,65 @@
+"""Fig. 8 — BER of overlay backscatter vs distance/power for three rates.
+
+Paper: (a) 100 bps is error-free to >= 6 ft at every power down to
+-60 dBm and past 12 ft above -60 dBm; (b, c) higher bit rates trade
+range — 1.6/3.2 kbps hold to ~16 ft at >= -40 dBm but only feet at
+-50/-60 dBm.
+"""
+
+import numpy as np
+
+from conftest import print_series, run_once
+from repro.experiments import fig08_ber_overlay
+
+
+def test_fig08a_100bps(benchmark):
+    result = run_once(
+        benchmark,
+        fig08_ber_overlay.run,
+        rate="100bps",
+        powers_dbm=(-20.0, -60.0),
+        distances_ft=(2, 6, 12, 20),
+        n_bits=120,
+        rng=2017,
+    )
+    print_series("Fig. 8a BER, 100 bps", result)
+    # Error-free at 6 ft even at -60 dBm.
+    assert result["P-60"][1] < 0.02
+    # High power: error-free everywhere measured.
+    assert max(result["P-20"]) < 0.02
+    # -60 dBm collapses by 20 ft.
+    assert result["P-60"][-1] > 0.1
+
+
+def test_fig08b_1600bps(benchmark):
+    result = run_once(
+        benchmark,
+        fig08_ber_overlay.run,
+        rate="1.6kbps",
+        powers_dbm=(-40.0, -60.0),
+        distances_ft=(2, 6, 16),
+        n_bits=800,
+        rng=2017,
+    )
+    print_series("Fig. 8b BER, 1.6 kbps", result)
+    # -40 dBm works out to 16 ft (paper's headline for this rate).
+    assert result["P-40"][-1] < 0.05
+    # -60 dBm: short range only; broken by 16 ft.
+    assert result["P-60"][-1] > 0.1
+
+
+def test_fig08c_3200bps(benchmark):
+    result = run_once(
+        benchmark,
+        fig08_ber_overlay.run,
+        rate="3.2kbps",
+        powers_dbm=(-40.0, -50.0),
+        distances_ft=(2, 8, 16),
+        n_bits=1600,
+        rng=2017,
+    )
+    print_series("Fig. 8c BER, 3.2 kbps", result)
+    # -40 dBm still fine at 16 ft.
+    assert result["P-40"][-1] < 0.05
+    # Rate/range tradeoff: 3.2 kbps at -50 dBm degrades with distance.
+    assert result["P-50"][-1] >= result["P-50"][0]

@@ -1,0 +1,33 @@
+"""Fig. 9 — BER with maximal-ratio combining (1.6 kbps at -40 dBm).
+
+Paper: combining two transmissions is already enough to significantly
+reduce BER; more repetitions help monotonically.
+"""
+
+import numpy as np
+
+from conftest import print_series, run_once
+from repro.experiments import fig09_mrc
+
+
+def test_fig09_mrc_collapses_ber(benchmark):
+    result = run_once(
+        benchmark,
+        fig09_mrc.run,
+        distances_ft=(8, 16),
+        mrc_factors=(1, 2, 4),
+        power_dbm=-40.0,
+        program="pop",
+        n_bits=800,
+        rng=2017,
+    )
+    print_series("Fig. 9 BER with MRC", result)
+    mean_ber = {f: float(np.mean(result[f"mrc{f}"])) for f in (1, 2, 4)}
+    # 2x MRC does not hurt, 4x is at least as good as 2x, and combining
+    # never exceeds the single-shot BER by more than noise.
+    assert mean_ber[2] <= mean_ber[1] + 0.01
+    assert mean_ber[4] <= mean_ber[2] + 0.01
+    # With interference-limited errors present, combining strictly helps
+    # whenever the single-shot BER is nonzero.
+    if mean_ber[1] > 0.005:
+        assert mean_ber[2] < mean_ber[1]

@@ -1,0 +1,31 @@
+"""Fig. 11 — PESQ of overlay-backscattered speech.
+
+Paper: PESQ sits consistently near 2 for -20..-40 dBm out to 20 ft (the
+limit is the ambient program, not noise), holds at -50 dBm to ~12 ft, and
+audio (unlike data) fails at -60 dBm.
+"""
+
+import numpy as np
+
+from conftest import print_series, run_once
+from repro.experiments import fig11_pesq_overlay
+
+
+def test_fig11_overlay_pesq(benchmark):
+    result = run_once(
+        benchmark,
+        fig11_pesq_overlay.run,
+        powers_dbm=(-20.0, -40.0, -60.0),
+        distances_ft=(4, 12, 20),
+        duration_s=1.5,
+        rng=2017,
+    )
+    print_series("Fig. 11 PESQ overlay", result)
+    # PESQ ~2 at high power regardless of distance (interference-limited).
+    for score in result["P-20"]:
+        assert 1.5 < score < 3.0
+    assert abs(result["P-20"][0] - result["P-20"][-1]) < 0.8
+    # -40 dBm close range still ~2.
+    assert result["P-40"][0] > 1.5
+    # -60 dBm: audio quality collapses (paper: audio needs ~-50 dBm).
+    assert result["P-60"][-1] < result["P-20"][0] - 0.4

@@ -1,0 +1,29 @@
+"""Fig. 12 — PESQ with cooperative (two-phone) backscatter.
+
+Paper: cancelling the ambient program with a second phone lifts PESQ to
+~4 for -20..-50 dBm; cooperative works at powers where stereo backscatter
+already fails, collapsing only at -60 dBm.
+"""
+
+import numpy as np
+
+from conftest import print_series, run_once
+from repro.experiments import fig12_pesq_cooperative
+
+
+def test_fig12_cooperative_pesq(benchmark):
+    result = run_once(
+        benchmark,
+        fig12_pesq_cooperative.run,
+        powers_dbm=(-20.0, -40.0, -60.0),
+        distances_ft=(4, 12),
+        duration_s=1.5,
+        rng=2017,
+    )
+    print_series("Fig. 12 PESQ cooperative", result)
+    # High power: near-transparent (paper ~4).
+    assert result["P-20"][0] > 3.5
+    # Still clearly better than the overlay baseline (~2) at -40 dBm.
+    assert result["P-40"][0] > 2.5
+    # Collapse at -60 dBm.
+    assert result["P-60"][0] < result["P-20"][0] - 1.5

@@ -1,0 +1,34 @@
+"""Fig. 17b — smart-fabric BER while standing, walking, running.
+
+Paper: 100 bps stays below ~0.005 BER even while running; 1.6 kbps with
+2x MRC sits around 0.02 standing and degrades with motion.
+"""
+
+import numpy as np
+
+from conftest import print_series, run_once
+from repro.experiments import fig17_fabric
+
+
+def test_fig17b_fabric_mobility(benchmark):
+    result = run_once(
+        benchmark,
+        fig17_fabric.run,
+        motions=("standing", "running"),
+        n_bits_low=150,
+        n_bits_high=800,
+        n_trials=2,
+        rng=2017,
+    )
+    print_series("Fig. 17b fabric BER", result)
+    standing_idx, running_idx = 0, 1
+    # 100 bps robust even running.
+    assert result["ber_100bps"][running_idx] < 0.02
+    # The high rate is the fragile one, and motion does not improve it.
+    assert (
+        result["ber_1.6kbps_mrc2"][running_idx]
+        >= result["ber_1.6kbps_mrc2"][standing_idx] - 0.01
+    )
+    # Rate ordering within each mobility state.
+    for i in (standing_idx, running_idx):
+        assert result["ber_100bps"][i] <= result["ber_1.6kbps_mrc2"][i] + 0.01

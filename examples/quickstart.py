@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Quickstart: backscatter a tone over an FM broadcast and decode it.
+
+Reproduces the core loop of the paper in ~20 lines of API:
+
+1. A simulated FM station broadcasts a news program.
+2. A backscatter device overlays a 1 kHz tone (paper Eq. 2: the switch
+   drive turns RF multiplication into audio addition).
+3. A smartphone tuned 600 kHz away demodulates and hears both the
+   program and the tone.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.audio import tone
+from repro.constants import AUDIO_RATE_HZ
+from repro.dsp import tone_snr_db
+from repro.experiments.common import ExperimentChain
+
+
+def main() -> None:
+    # Ambient power at the device: -35 dBm, the level the paper measured
+    # at a real bus stop. Receiver is a phone 8 feet away.
+    chain = ExperimentChain(
+        program="news",
+        power_dbm=-35.0,
+        distance_ft=8.0,
+        receiver_kind="smartphone",
+        stereo_decode=False,
+    )
+
+    payload = tone(1000.0, duration_s=1.0, sample_rate=AUDIO_RATE_HZ, amplitude=0.9)
+    received = chain.transmit(payload, rng=1)
+    audio = chain.payload_channel(received)
+
+    snr = tone_snr_db(audio, AUDIO_RATE_HZ, 1000.0)
+    print(f"link RF SNR:        {chain.rf_snr_db():6.1f} dB")
+    print(f"received tone SNR:  {snr:6.1f} dB (tone vs. rest of the audio band)")
+    print("the 1 kHz tone is clearly audible over the news program"
+          if snr > 0 else "tone buried — move closer or find a stronger station")
+
+
+if __name__ == "__main__":
+    main()

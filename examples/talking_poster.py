@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Talking poster (paper section 6.1): notifications + music to a phone.
+
+A bus-stop poster with a copper-tape dipole backscatters the local news
+station. It sends a 100 bps framed text notification (decoded by the
+phone's FM receiver + app) and overlays a music-like snippet on the
+broadcast. Optionally writes the received composite audio to a WAV file
+so you can listen to what the phone hears.
+
+Run:
+    python examples/talking_poster.py [output.wav]
+"""
+
+import sys
+
+from repro.apps.poster import TalkingPoster
+from repro.audio import music_like, write_wav
+from repro.constants import AUDIO_RATE_HZ
+
+
+def main() -> None:
+    poster = TalkingPoster(
+        notification_text="SIMPLY THREE 50% OFF TONIGHT",
+        ambient_power_dbm=-37.0,  # measured at the paper's bus stop
+    )
+
+    print("== 100 bps notification, phone at 10 ft ==")
+    result = poster.broadcast_notification(distance_ft=10.0, rng=42)
+    if result.notification is None:
+        print("  frame not decoded (out of range)")
+    else:
+        print(f"  phone shows: {result.notification!r}")
+        print(f"  preamble bit errors: {result.preamble_errors}")
+
+    print("== same notification into a parked car at 10 ft ==")
+    car = poster.broadcast_notification(distance_ft=10.0, receiver_kind="car", rng=43)
+    print(f"  car decodes: {car.notification!r}")
+
+    print("== music snippet overlaid on the news broadcast, 4 ft ==")
+    snippet = music_like(2.0, AUDIO_RATE_HZ, rng=7, amplitude=0.9)
+    audio, received = poster.broadcast_audio(snippet, distance_ft=4.0, rng=44)
+    print(f"  received {audio.size / AUDIO_RATE_HZ:.1f} s of composite audio")
+
+    if len(sys.argv) > 1:
+        write_wav(sys.argv[1], audio, int(AUDIO_RATE_HZ))
+        print(f"  wrote what the phone hears to {sys.argv[1]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim so legacy editable installs work without the wheel package.
+
+The environment has setuptools but no `wheel`, which breaks PEP 660
+editable installs; `python setup.py develop` (or `pip install -e .` with
+older tooling) goes through this shim instead. All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,11 @@
+"""Proof-of-concept applications: talking posters and smart fabrics."""
+
+from repro.apps.poster import PosterBroadcast, TalkingPoster
+from repro.apps.fabric import SmartFabricSensor, VitalSigns
+
+__all__ = [
+    "PosterBroadcast",
+    "SmartFabricSensor",
+    "TalkingPoster",
+    "VitalSigns",
+]

@@ -1,0 +1,31 @@
+"""Audio-domain signal generation, quality metrics, and I/O.
+
+Program-material generators stand in for the paper's recorded station
+clips (news / mixed / pop / rock), and :mod:`repro.audio.pesq` provides the
+perceptual quality score used by the Figs. 11-14 reproductions.
+"""
+
+from repro.audio.tones import multitone, silence, sweep, tone
+from repro.audio.speech import speech_like
+from repro.audio.music import music_like, program_material
+from repro.audio.metrics import rms, segmental_snr_db, snr_db
+from repro.audio.pesq import pesq_like
+from repro.audio.imperceptible import embed_imperceptible
+from repro.audio.io import read_wav, write_wav
+
+__all__ = [
+    "embed_imperceptible",
+    "multitone",
+    "music_like",
+    "pesq_like",
+    "program_material",
+    "read_wav",
+    "rms",
+    "segmental_snr_db",
+    "silence",
+    "snr_db",
+    "speech_like",
+    "sweep",
+    "tone",
+    "write_wav",
+]

@@ -1,0 +1,61 @@
+"""Minimal WAV file I/O built on the stdlib ``wave`` module.
+
+Examples write received audio to disk so a human can listen to the overlay
+result; no external audio dependency is needed for 16-bit PCM.
+"""
+
+from __future__ import annotations
+
+import wave
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.utils.validation import ensure_real
+
+
+def write_wav(path: Union[str, Path], signal: np.ndarray, sample_rate: int) -> None:
+    """Write a mono float signal to a 16-bit PCM WAV file.
+
+    The signal is peak-normalized only if it exceeds full scale, so
+    deliberate level differences are preserved.
+
+    Args:
+        path: output file path.
+        signal: real 1-D audio in roughly [-1, 1].
+        sample_rate: sample rate in Hz (integer).
+    """
+    signal = ensure_real(signal, "signal")
+    peak = float(np.max(np.abs(signal)))
+    if peak > 1.0:
+        signal = signal / peak
+    samples = np.clip(np.round(signal * 32767.0), -32768, 32767).astype(np.int16)
+    with wave.open(str(path), "wb") as fh:
+        fh.setnchannels(1)
+        fh.setsampwidth(2)
+        fh.setframerate(int(sample_rate))
+        fh.writeframes(samples.tobytes())
+
+
+def read_wav(path: Union[str, Path]) -> Tuple[np.ndarray, int]:
+    """Read a mono or stereo 16-bit PCM WAV file.
+
+    Returns:
+        ``(signal, sample_rate)``; stereo files are returned with shape
+        ``(n, 2)`` scaled to [-1, 1].
+
+    Raises:
+        SignalError: for sample widths other than 16-bit PCM.
+    """
+    with wave.open(str(path), "rb") as fh:
+        if fh.getsampwidth() != 2:
+            raise SignalError("only 16-bit PCM WAV files are supported")
+        n_channels = fh.getnchannels()
+        rate = fh.getframerate()
+        raw = fh.readframes(fh.getnframes())
+    data = np.frombuffer(raw, dtype=np.int16).astype(float) / 32767.0
+    if n_channels > 1:
+        data = data.reshape(-1, n_channels)
+    return data, rate

@@ -1,0 +1,70 @@
+"""Basic audio fidelity metrics: RMS, SNR, segmental SNR."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.utils.validation import ensure_equal_length, ensure_real
+
+
+def rms(signal: np.ndarray) -> float:
+    """Root-mean-square level of a real signal."""
+    signal = ensure_real(signal, "signal")
+    return float(np.sqrt(np.mean(signal**2)))
+
+
+def snr_db(reference: np.ndarray, degraded: np.ndarray) -> float:
+    """Global SNR of ``degraded`` against ``reference``, in dB.
+
+    The noise is the residual after optimally scaling the degraded signal
+    onto the reference, so a pure gain difference scores as noiseless.
+
+    Raises:
+        SignalError: if the reference is silent.
+    """
+    reference = ensure_real(reference, "reference")
+    degraded = ensure_real(degraded, "degraded")
+    ensure_equal_length(reference, degraded, "reference/degraded")
+    ref_power = float(np.dot(reference, reference))
+    if ref_power == 0:
+        raise SignalError("reference signal is silent; SNR undefined")
+    scale = float(np.dot(degraded, reference)) / float(np.dot(degraded, degraded) + 1e-30)
+    residual = reference - scale * degraded
+    noise_power = float(np.dot(residual, residual))
+    return 10.0 * np.log10(ref_power / max(noise_power, 1e-30))
+
+
+def segmental_snr_db(
+    reference: np.ndarray,
+    degraded: np.ndarray,
+    sample_rate: float,
+    frame_seconds: float = 0.032,
+    floor_db: float = -10.0,
+    ceiling_db: float = 35.0,
+) -> float:
+    """Frame-averaged SNR, the classic speech-quality correlate.
+
+    Each ~32 ms frame's SNR is clamped to ``[floor_db, ceiling_db]``
+    (standard practice so silent frames do not dominate), then averaged.
+    """
+    reference = ensure_real(reference, "reference")
+    degraded = ensure_real(degraded, "degraded")
+    ensure_equal_length(reference, degraded, "reference/degraded")
+    frame = max(int(frame_seconds * sample_rate), 8)
+    n_frames = reference.size // frame
+    if n_frames == 0:
+        raise SignalError("signals shorter than one frame")
+    snrs = []
+    for i in range(n_frames):
+        seg = slice(i * frame, (i + 1) * frame)
+        ref_p = float(np.dot(reference[seg], reference[seg]))
+        if ref_p < 1e-12:
+            continue  # skip silent frames
+        err = reference[seg] - degraded[seg]
+        err_p = float(np.dot(err, err))
+        snr = 10.0 * np.log10(ref_p / max(err_p, 1e-30))
+        snrs.append(min(max(snr, floor_db), ceiling_db))
+    if not snrs:
+        raise SignalError("reference contains only silence")
+    return float(np.mean(snrs))

@@ -1,0 +1,88 @@
+"""Deterministic test-tone generators.
+
+These produce the single tones and sweeps used by the Fig. 6 / Fig. 7
+micro-benchmarks and by unit tests throughout the library.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import ensure_positive
+
+
+def _num_samples(duration_s: float, sample_rate: float) -> int:
+    duration_s = ensure_positive(duration_s, "duration_s")
+    sample_rate = ensure_positive(sample_rate, "sample_rate")
+    n = int(round(duration_s * sample_rate))
+    if n < 1:
+        raise ConfigurationError("duration too short for one sample")
+    return n
+
+
+def tone(
+    freq_hz: float,
+    duration_s: float,
+    sample_rate: float,
+    amplitude: float = 1.0,
+    phase_rad: float = 0.0,
+) -> np.ndarray:
+    """A cosine tone.
+
+    Args:
+        freq_hz: tone frequency (must be below Nyquist).
+        duration_s: duration in seconds.
+        sample_rate: sample rate in Hz.
+        amplitude: peak amplitude.
+        phase_rad: starting phase.
+    """
+    n = _num_samples(duration_s, sample_rate)
+    if not 0 <= freq_hz < sample_rate / 2:
+        raise ConfigurationError(
+            f"freq_hz must be in [0, Nyquist={sample_rate / 2}), got {freq_hz}"
+        )
+    t = np.arange(n) / sample_rate
+    return amplitude * np.cos(2.0 * np.pi * freq_hz * t + phase_rad)
+
+
+def multitone(
+    freqs_hz: Sequence[float],
+    duration_s: float,
+    sample_rate: float,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """Sum of equal-amplitude cosines, peak-normalized to ``amplitude``."""
+    freqs = list(freqs_hz)
+    if not freqs:
+        raise ConfigurationError("freqs_hz must contain at least one frequency")
+    total = sum(tone(f, duration_s, sample_rate) for f in freqs)
+    peak = float(np.max(np.abs(total)))
+    if peak == 0:
+        return total
+    return amplitude * total / peak
+
+
+def sweep(
+    start_hz: float,
+    stop_hz: float,
+    duration_s: float,
+    sample_rate: float,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """Linear chirp from ``start_hz`` to ``stop_hz``."""
+    n = _num_samples(duration_s, sample_rate)
+    for name, f in (("start_hz", start_hz), ("stop_hz", stop_hz)):
+        if not 0 <= f < sample_rate / 2:
+            raise ConfigurationError(f"{name} must be in [0, Nyquist), got {f}")
+    t = np.arange(n) / sample_rate
+    rate = (stop_hz - start_hz) / (duration_s)
+    phase = 2.0 * np.pi * (start_hz * t + 0.5 * rate * t**2)
+    return amplitude * np.cos(phase)
+
+
+def silence(duration_s: float, sample_rate: float) -> np.ndarray:
+    """All-zero signal (the ``FMaudio = 0`` station of section 5.1)."""
+    return np.zeros(_num_samples(duration_s, sample_rate))

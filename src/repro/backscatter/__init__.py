@@ -1,0 +1,51 @@
+"""FM backscatter: the paper's core contribution.
+
+A backscatter switch toggles its antenna between reflect and absorb,
+multiplying the ambient FM waveform by a +/-1 square wave. Driving the
+switch with an FM-modulated square wave (Eq. 2) makes the product, viewed
+at ``fc + fback``, another valid FM signal whose baseband audio is the
+*sum* of the ambient audio and the backscattered audio.
+
+:mod:`repro.backscatter.switch` implements the physical square-wave mixing
+for validation; :mod:`repro.backscatter.modulator` implements the efficient
+audio-domain addition identity used by the experiment harness; and
+:mod:`repro.backscatter.device` wraps modes (overlay / stereo / mono-to-
+stereo) into a single device object.
+"""
+
+from repro.backscatter.switch import (
+    SquareWaveSwitch,
+    square_wave_from_phase,
+    switch_waveform,
+)
+from repro.backscatter.modulator import (
+    backscatter_subcarrier_phase,
+    composite_mpx,
+    subcarrier_envelope,
+)
+from repro.backscatter.dco import CapacitorBankDco
+from repro.backscatter.device import BackscatterDevice, BackscatterMode
+from repro.backscatter.power import (
+    PowerBudget,
+    battery_life_hours,
+    duty_cycled_power_w,
+    ic_power_budget,
+)
+from repro.backscatter.ssb import ssb_switch_envelope, sideband_rejection_db
+
+__all__ = [
+    "BackscatterDevice",
+    "BackscatterMode",
+    "CapacitorBankDco",
+    "PowerBudget",
+    "SquareWaveSwitch",
+    "backscatter_subcarrier_phase",
+    "battery_life_hours",
+    "composite_mpx",
+    "duty_cycled_power_w",
+    "ic_power_budget",
+    "sideband_rejection_db",
+    "square_wave_from_phase",
+    "ssb_switch_envelope",
+    "subcarrier_envelope",
+]

@@ -1,0 +1,114 @@
+"""The backscatter device: modes, baseband assembly, pilot injection.
+
+A :class:`BackscatterDevice` owns a payload (audio waveform or data
+waveform) and renders the device-side baseband ``FMback`` for one of the
+paper's three placements:
+
+* ``OVERLAY`` — payload goes in the mono band, heard mixed with the
+  ambient program on any receiver (section 3.3).
+* ``STEREO`` — payload rides the 38 kHz L-R subcarrier of an already-
+  stereo station; no pilot is injected because the station provides one
+  (section 3.3.1 case 2).
+* ``MONO_TO_STEREO`` — payload rides the L-R subcarrier *and* the device
+  injects the 19 kHz pilot, tricking receivers into stereo-decoding a
+  mono broadcast: ``B(t)`` baseband is ``0.9 FMstereo + 0.1 cos(19 kHz)``
+  (section 3.3.1 case 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    AUDIO_RATE_HZ,
+    DEFAULT_FBACK_HZ,
+    FM_MAX_DEVIATION_HZ,
+    MPX_RATE_HZ,
+    PILOT_FREQ_HZ,
+    STEREO_SUBCARRIER_HZ,
+)
+from repro.dsp.filters import design_lowpass_fir, filter_signal
+from repro.dsp.resample import resample_by_ratio
+from repro.errors import ConfigurationError
+from repro.utils.validation import ensure_real
+
+
+class BackscatterMode(enum.Enum):
+    """Placement of the backscattered payload in the MPX spectrum."""
+
+    OVERLAY = "overlay"
+    STEREO = "stereo"
+    MONO_TO_STEREO = "mono_to_stereo"
+
+
+@dataclass
+class BackscatterDevice:
+    """Renders the device-side FM baseband for a payload.
+
+    Args:
+        mode: payload placement (see :class:`BackscatterMode`).
+        fback_hz: subcarrier / channel shift (600 kHz in the evaluation).
+        deviation_hz: FM deviation the device's modulator applies; the
+            paper sets the maximum allowed value for loudness.
+        audio_rate: sample rate of payload waveforms handed to
+            :meth:`baseband`.
+        mpx_rate: output baseband sample rate.
+        payload_fraction: deviation share of the payload in pilot-
+            injecting mode (0.9 per the paper's Eq. in section 3.3.1).
+    """
+
+    mode: BackscatterMode = BackscatterMode.OVERLAY
+    fback_hz: float = DEFAULT_FBACK_HZ
+    deviation_hz: float = FM_MAX_DEVIATION_HZ
+    audio_rate: float = AUDIO_RATE_HZ
+    mpx_rate: float = MPX_RATE_HZ
+    payload_fraction: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.mode, BackscatterMode):
+            raise ConfigurationError("mode must be a BackscatterMode")
+        if not 0.0 < self.payload_fraction <= 1.0:
+            raise ConfigurationError("payload_fraction must be in (0, 1]")
+
+    def baseband(self, payload_audio: np.ndarray) -> np.ndarray:
+        """Render ``FMback``: the device's baseband at ``mpx_rate``.
+
+        Args:
+            payload_audio: the audio (or audio-band data waveform) to
+                transmit, at ``audio_rate``, nominally within [-1, 1].
+
+        Returns:
+            Real MPX-domain waveform in [-1, 1] at ``mpx_rate``.
+        """
+        payload_audio = ensure_real(payload_audio, "payload_audio")
+        band_limited = filter_signal(
+            design_lowpass_fir(15e3, self.audio_rate, 257), payload_audio
+        )
+        payload_mpx = resample_by_ratio(band_limited, self.audio_rate, self.mpx_rate)
+
+        if self.mode is BackscatterMode.OVERLAY:
+            return np.clip(payload_mpx, -1.0, 1.0)
+
+        n = payload_mpx.size
+        t = np.arange(n) / self.mpx_rate
+        carrier38 = np.cos(2.0 * np.pi * STEREO_SUBCARRIER_HZ * t)
+        stereo_payload = payload_mpx * carrier38
+
+        if self.mode is BackscatterMode.STEREO:
+            # Station already transmits the pilot; do not duplicate it.
+            return np.clip(stereo_payload, -1.0, 1.0)
+
+        pilot = np.cos(2.0 * np.pi * PILOT_FREQ_HZ * t)
+        combined = (
+            self.payload_fraction * stereo_payload
+            + (1.0 - self.payload_fraction) * pilot
+        )
+        peak = float(np.max(np.abs(combined)))
+        return combined / peak if peak > 1.0 else combined
+
+    def injects_pilot(self) -> bool:
+        """True when this device adds its own 19 kHz pilot."""
+        return self.mode is BackscatterMode.MONO_TO_STEREO

@@ -1,0 +1,60 @@
+"""Oscillator impairments: frequency offset and drift.
+
+The device's LC-tank oscillator (section 4) is free-running: its 600 kHz
+output has tolerance and temperature drift, so the backscattered channel
+lands slightly off the receiver's tuned center. FM reception is famously
+tolerant of static offsets (they demodulate to a DC term the audio chain
+blocks) but large offsets push the signal against the IF filter and
+drift becomes audible rumble. These helpers inject both effects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import ensure_1d, ensure_positive
+
+
+def apply_frequency_offset(
+    iq: np.ndarray, offset_hz: float, sample_rate: float
+) -> np.ndarray:
+    """Shift a complex envelope by a static frequency offset."""
+    iq = ensure_1d(iq, "iq")
+    if not np.iscomplexobj(iq):
+        raise ConfigurationError("iq must be a complex envelope")
+    sample_rate = ensure_positive(sample_rate, "sample_rate")
+    if abs(offset_hz) >= sample_rate / 2:
+        raise ConfigurationError("offset beyond Nyquist")
+    t = np.arange(iq.size) / sample_rate
+    return iq * np.exp(2j * np.pi * offset_hz * t)
+
+
+def apply_frequency_drift(
+    iq: np.ndarray,
+    drift_hz_per_s: float,
+    sample_rate: float,
+) -> np.ndarray:
+    """Apply a linear frequency ramp (temperature drift of the LC tank)."""
+    iq = ensure_1d(iq, "iq")
+    if not np.iscomplexobj(iq):
+        raise ConfigurationError("iq must be a complex envelope")
+    sample_rate = ensure_positive(sample_rate, "sample_rate")
+    t = np.arange(iq.size) / sample_rate
+    inst_offset = drift_hz_per_s * t
+    phase = 2.0 * np.pi * np.cumsum(inst_offset) / sample_rate
+    return iq * np.exp(1j * phase)
+
+
+def lc_tank_tolerance_hz(
+    nominal_hz: float = 600e3, tolerance_ppm: float = 2000.0
+) -> float:
+    """Worst-case static offset of a free-running LC oscillator.
+
+    LC tanks without trimming hold roughly 0.1-1% absolute accuracy;
+    2000 ppm of 600 kHz is 1.2 kHz — far inside the FM channel, which is
+    why the paper's open-loop oscillator works without calibration.
+    """
+    if nominal_hz <= 0 or tolerance_ppm < 0:
+        raise ConfigurationError("nominal and tolerance must be non-negative")
+    return nominal_hz * tolerance_ppm * 1e-6

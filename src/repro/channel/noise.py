@@ -1,0 +1,49 @@
+"""Thermal noise and AWGN injection."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rand import RngLike, as_generator
+from repro.utils.validation import ensure_1d, ensure_positive
+
+BOLTZMANN_J_PER_K = 1.380649e-23
+ROOM_TEMPERATURE_K = 290.0
+
+
+def noise_power_dbm(bandwidth_hz: float, noise_figure_db: float = 0.0) -> float:
+    """Thermal noise power kTB (+ receiver noise figure) in dBm.
+
+    Args:
+        bandwidth_hz: noise bandwidth (an FM channel is ~200 kHz).
+        noise_figure_db: receiver noise figure added on top of kTB.
+    """
+    bandwidth_hz = ensure_positive(bandwidth_hz, "bandwidth_hz")
+    ktb_w = BOLTZMANN_J_PER_K * ROOM_TEMPERATURE_K * bandwidth_hz
+    return 10.0 * np.log10(ktb_w / 1e-3) + float(noise_figure_db)
+
+
+def awgn(signal: np.ndarray, snr_db: float, rng: RngLike = None) -> np.ndarray:
+    """Add real white Gaussian noise for a target SNR relative to the
+    signal's own measured power."""
+    signal = ensure_1d(signal, "signal")
+    gen = as_generator(rng)
+    power = float(np.mean(np.abs(signal) ** 2))
+    noise_power = power / (10.0 ** (snr_db / 10.0))
+    noise = np.sqrt(noise_power) * gen.standard_normal(signal.size)
+    return signal + noise
+
+
+def complex_awgn(iq: np.ndarray, snr_db: float, rng: RngLike = None) -> np.ndarray:
+    """Add circularly-symmetric complex Gaussian noise at a target SNR.
+
+    The SNR is defined against the measured power of ``iq``; noise power is
+    split equally between I and Q.
+    """
+    iq = ensure_1d(iq, "iq")
+    gen = as_generator(rng)
+    power = float(np.mean(np.abs(iq) ** 2))
+    noise_power = power / (10.0 ** (snr_db / 10.0))
+    scale = np.sqrt(noise_power / 2.0)
+    noise = scale * (gen.standard_normal(iq.size) + 1j * gen.standard_normal(iq.size))
+    return iq.astype(complex) + noise

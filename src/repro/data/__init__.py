@@ -1,0 +1,49 @@
+"""Data transmission over backscattered audio.
+
+Implements the paper's three bit rates (section 3.4): 2-FSK at 100 bps
+(8/12 kHz tones) and FDM-4FSK at 1.6 / 3.2 kbps (sixteen tones between
+800 Hz and 12.8 kHz in four groups, 8 bits per symbol), all decoded
+non-coherently by comparing Goertzel tone powers. Maximal-ratio combining,
+framing, error-correction coding (section 8 future work) and a slotted-
+ALOHA MAC round out the stack.
+"""
+
+from repro.data.bits import bits_to_bytes, bytes_to_bits, random_bits
+from repro.data.fsk import BinaryFskModem
+from repro.data.fdm import FdmFskModem
+from repro.data.mrc import mrc_combine
+from repro.data.ber import bit_error_rate, count_bit_errors
+from repro.data.framing import FrameCodec, FrameSyncResult
+from repro.data.coding import (
+    hamming74_decode,
+    hamming74_encode,
+    repetition_decode,
+    repetition_encode,
+)
+from repro.data.mac import SlottedAlohaSimulator, AlohaStats
+from repro.data.interleave import deinterleave, interleave
+from repro.data.crc16 import append_crc16, crc16, verify_crc16
+
+__all__ = [
+    "AlohaStats",
+    "BinaryFskModem",
+    "FdmFskModem",
+    "FrameCodec",
+    "FrameSyncResult",
+    "SlottedAlohaSimulator",
+    "append_crc16",
+    "bit_error_rate",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "count_bit_errors",
+    "crc16",
+    "deinterleave",
+    "interleave",
+    "verify_crc16",
+    "hamming74_decode",
+    "hamming74_encode",
+    "mrc_combine",
+    "random_bits",
+    "repetition_decode",
+    "repetition_encode",
+]

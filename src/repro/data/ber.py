@@ -1,0 +1,28 @@
+"""Bit-error-rate measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def count_bit_errors(sent: np.ndarray, received: np.ndarray) -> int:
+    """Number of positions where the two bit arrays disagree.
+
+    Compares over the shorter length; missing tail bits (an early-
+    terminated reception) count as errors.
+    """
+    sent = np.asarray(sent, dtype=int)
+    received = np.asarray(received, dtype=int)
+    if sent.size == 0:
+        raise ConfigurationError("sent bits must be non-empty")
+    n = min(sent.size, received.size)
+    errors = int(np.sum(sent[:n] != received[:n]))
+    return errors + (sent.size - n)
+
+
+def bit_error_rate(sent: np.ndarray, received: np.ndarray) -> float:
+    """Fraction of ``sent`` bits received incorrectly, in [0, 1]."""
+    sent = np.asarray(sent, dtype=int)
+    return count_bit_errors(sent, received) / sent.size

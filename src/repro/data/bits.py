@@ -1,0 +1,68 @@
+"""Bit-array utilities: packing, unpacking, pseudo-random payloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rand import RngLike, as_generator
+
+
+def random_bits(n: int, rng: RngLike = None) -> np.ndarray:
+    """``n`` uniform random bits as an int array of 0/1."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    gen = as_generator(rng)
+    return gen.integers(0, 2, size=n).astype(int)
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """Unpack bytes MSB-first into a 0/1 int array."""
+    if len(data) == 0:
+        raise ConfigurationError("data must be non-empty")
+    arr = np.frombuffer(data, dtype=np.uint8)
+    return np.unpackbits(arr).astype(int)
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack a 0/1 array (length a multiple of 8) MSB-first into bytes."""
+    bits = np.asarray(bits, dtype=int)
+    if bits.size == 0 or bits.size % 8 != 0:
+        raise ConfigurationError(
+            f"bit count must be a positive multiple of 8, got {bits.size}"
+        )
+    if np.any((bits != 0) & (bits != 1)):
+        raise ConfigurationError("bits must be 0/1")
+    return np.packbits(bits.astype(np.uint8)).tobytes()
+
+
+def bits_to_symbols(bits: np.ndarray, bits_per_symbol: int) -> np.ndarray:
+    """Group bits MSB-first into integer symbols.
+
+    Pads with zeros to a whole number of symbols, matching a transmitter
+    that flushes its symbol register.
+    """
+    bits = np.asarray(bits, dtype=int)
+    if bits_per_symbol < 1:
+        raise ConfigurationError("bits_per_symbol must be >= 1")
+    if bits.size == 0:
+        raise ConfigurationError("bits must be non-empty")
+    remainder = bits.size % bits_per_symbol
+    if remainder:
+        bits = np.concatenate([bits, np.zeros(bits_per_symbol - remainder, dtype=int)])
+    grouped = bits.reshape(-1, bits_per_symbol)
+    weights = 1 << np.arange(bits_per_symbol - 1, -1, -1)
+    return grouped @ weights
+
+
+def symbols_to_bits(symbols: np.ndarray, bits_per_symbol: int) -> np.ndarray:
+    """Inverse of :func:`bits_to_symbols` (MSB-first)."""
+    symbols = np.asarray(symbols, dtype=int)
+    if bits_per_symbol < 1:
+        raise ConfigurationError("bits_per_symbol must be >= 1")
+    if symbols.size == 0:
+        raise ConfigurationError("symbols must be non-empty")
+    if np.any(symbols < 0) or np.any(symbols >= (1 << bits_per_symbol)):
+        raise ConfigurationError("symbol out of range for bits_per_symbol")
+    shifts = np.arange(bits_per_symbol - 1, -1, -1)
+    return ((symbols[:, None] >> shifts) & 1).reshape(-1).astype(int)

@@ -1,0 +1,97 @@
+"""Error-correction coding (paper section 8: "we can use coding to improve
+the FM backscatter range").
+
+Two codes suited to a microwatt transmitter: repetition (decode by
+majority) and Hamming(7,4) (single-error correction per block). Both add
+negligible transmitter complexity — exactly the design point the paper's
+discussion targets — and the coding ablation bench quantifies the range
+they buy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+# Hamming(7,4) generator (systematic: data bits then parity) and
+# parity-check matrices over GF(2).
+_G = np.array(
+    [
+        [1, 0, 0, 0, 1, 1, 0],
+        [0, 1, 0, 0, 1, 0, 1],
+        [0, 0, 1, 0, 0, 1, 1],
+        [0, 0, 0, 1, 1, 1, 1],
+    ],
+    dtype=int,
+)
+_H = np.array(
+    [
+        [1, 1, 0, 1, 1, 0, 0],
+        [1, 0, 1, 1, 0, 1, 0],
+        [0, 1, 1, 1, 0, 0, 1],
+    ],
+    dtype=int,
+)
+# Syndrome -> error position lookup: column i of H is the syndrome of a
+# single error at position i.
+_SYNDROME_TO_POSITION = {
+    tuple(_H[:, i]): i for i in range(7)
+}
+
+
+def _check_bits(bits: np.ndarray, name: str) -> np.ndarray:
+    bits = np.asarray(bits, dtype=int)
+    if bits.size == 0:
+        raise ConfigurationError(f"{name} must be non-empty")
+    if np.any((bits != 0) & (bits != 1)):
+        raise ConfigurationError(f"{name} must contain only 0/1")
+    return bits
+
+
+def hamming74_encode(bits: np.ndarray) -> np.ndarray:
+    """Encode bits with Hamming(7,4); pads to a multiple of 4 with zeros."""
+    bits = _check_bits(bits, "bits")
+    if bits.size % 4:
+        bits = np.concatenate([bits, np.zeros(4 - bits.size % 4, dtype=int)])
+    blocks = bits.reshape(-1, 4)
+    coded = (blocks @ _G) % 2
+    return coded.reshape(-1)
+
+
+def hamming74_decode(coded: np.ndarray) -> np.ndarray:
+    """Decode Hamming(7,4), correcting one error per 7-bit block.
+
+    Raises:
+        ConfigurationError: if the input length is not a multiple of 7.
+    """
+    coded = _check_bits(coded, "coded")
+    if coded.size % 7:
+        raise ConfigurationError("coded length must be a multiple of 7")
+    blocks = coded.reshape(-1, 7).copy()
+    syndromes = (blocks @ _H.T) % 2
+    for i, syndrome in enumerate(syndromes):
+        key = tuple(int(s) for s in syndrome)
+        if key in _SYNDROME_TO_POSITION:
+            pos = _SYNDROME_TO_POSITION[key]
+            blocks[i, pos] ^= 1
+    return blocks[:, :4].reshape(-1)
+
+
+def repetition_encode(bits: np.ndarray, factor: int = 3) -> np.ndarray:
+    """Repeat each bit ``factor`` times (odd factor for clean majority)."""
+    bits = _check_bits(bits, "bits")
+    if factor < 1 or factor % 2 == 0:
+        raise ConfigurationError("factor must be a positive odd integer")
+    return np.repeat(bits, factor)
+
+
+def repetition_decode(coded: np.ndarray, factor: int = 3) -> np.ndarray:
+    """Majority-decode a repetition code."""
+    coded = _check_bits(coded, "coded")
+    if factor < 1 or factor % 2 == 0:
+        raise ConfigurationError("factor must be a positive odd integer")
+    if coded.size % factor:
+        raise ConfigurationError("coded length must be a multiple of factor")
+    blocks = coded.reshape(-1, factor)
+    return (np.sum(blocks, axis=1) > factor // 2).astype(int)

@@ -1,0 +1,55 @@
+"""CRC-16/CCITT-FALSE for frame integrity.
+
+The 100 bps link delivers notifications (Fig. 16) — a wrong character in
+a discount code is worse than a lost frame, so frames carry a 16-bit CRC
+the receiver verifies before surfacing the payload.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+_POLY = 0x1021
+_INIT = 0xFFFF
+
+
+def crc16(data: bytes) -> int:
+    """CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF, no reflection)."""
+    if not isinstance(data, (bytes, bytearray)):
+        raise ConfigurationError("data must be bytes")
+    register = _INIT
+    for byte in data:
+        register ^= byte << 8
+        for _ in range(8):
+            if register & 0x8000:
+                register = ((register << 1) ^ _POLY) & 0xFFFF
+            else:
+                register = (register << 1) & 0xFFFF
+    return register
+
+
+def append_crc16(payload: bytes) -> bytes:
+    """Payload followed by its big-endian CRC-16."""
+    if not payload:
+        raise ConfigurationError("payload must be non-empty")
+    check = crc16(payload)
+    return payload + bytes([(check >> 8) & 0xFF, check & 0xFF])
+
+
+def verify_crc16(frame: bytes) -> bytes:
+    """Strip and verify the trailing CRC-16.
+
+    Returns:
+        The payload without the checksum.
+
+    Raises:
+        ValueError: when the checksum does not match (callers treat this
+            as a lost frame and wait for the retransmission).
+    """
+    if len(frame) < 3:
+        raise ConfigurationError("frame too short to contain a CRC")
+    payload, received = frame[:-2], frame[-2:]
+    expected = crc16(payload)
+    if received != bytes([(expected >> 8) & 0xFF, expected & 0xFF]):
+        raise ValueError("CRC-16 mismatch")
+    return payload

@@ -1,0 +1,140 @@
+"""Packet framing: preamble synchronization and length-prefixed payloads.
+
+The experiment harness keeps signals sample-aligned, but real receptions
+(the talking-poster app, the cooperative receiver) need to *find* the
+transmission. Frames carry a fixed pseudo-noise bit preamble; the receiver
+correlates the demodulated soft powers against it to locate symbol 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data.ber import count_bit_errors
+from repro.data.bits import bits_to_bytes, bytes_to_bits
+from repro.errors import ConfigurationError, DemodulationError
+from repro.utils.validation import ensure_real
+
+# 32-bit PN preamble (fixed, good autocorrelation: balanced, low runs).
+PREAMBLE_BITS = np.array(
+    [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 0, 1, 1,
+     0, 1, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 1, 0, 1, 1], dtype=int
+)
+
+LENGTH_FIELD_BITS = 16
+"""Payload length prefix, in bits (counts payload bytes)."""
+
+
+@dataclass
+class FrameSyncResult:
+    """Outcome of preamble search.
+
+    Attributes:
+        sample_offset: sample index where the frame starts.
+        preamble_errors: bit errors in the detected preamble.
+        payload: decoded payload bytes.
+    """
+
+    sample_offset: int
+    preamble_errors: int
+    payload: bytes
+
+
+class FrameCodec:
+    """Wrap payload bytes in a preamble + length + payload frame.
+
+    Args:
+        modem: any modem object exposing ``modulate(bits)``,
+            ``demodulate(audio, n_bits)`` and ``samples_per_symbol`` /
+            ``bit_rate`` (both library modems qualify).
+        max_preamble_errors: tolerated preamble bit errors during search.
+    """
+
+    def __init__(self, modem, max_preamble_errors: int = 4) -> None:
+        if max_preamble_errors < 0:
+            raise ConfigurationError("max_preamble_errors must be >= 0")
+        self.modem = modem
+        self.max_preamble_errors = max_preamble_errors
+
+    def _bits_per_symbol(self) -> int:
+        return max(int(round(self.modem.bit_rate / self.modem.symbol_rate)), 1)
+
+    def encode(self, payload: bytes) -> np.ndarray:
+        """Build the frame waveform for a payload."""
+        if not payload:
+            raise ConfigurationError("payload must be non-empty")
+        if len(payload) >= (1 << LENGTH_FIELD_BITS):
+            raise ConfigurationError("payload too long for the length field")
+        length_bits = np.array(
+            [(len(payload) >> (LENGTH_FIELD_BITS - 1 - i)) & 1 for i in range(LENGTH_FIELD_BITS)],
+            dtype=int,
+        )
+        bits = np.concatenate([PREAMBLE_BITS, length_bits, bytes_to_bits(payload)])
+        # Pad to a whole symbol for multi-bit-per-symbol modems.
+        bps = self._bits_per_symbol()
+        if bits.size % bps:
+            bits = np.concatenate([bits, np.zeros(bps - bits.size % bps, dtype=int)])
+        return self.modem.modulate(bits)
+
+    def frame_bits(self, payload: bytes) -> int:
+        """Total bits in the frame for a payload (after padding)."""
+        raw = PREAMBLE_BITS.size + LENGTH_FIELD_BITS + 8 * len(payload)
+        bps = self._bits_per_symbol()
+        return raw + (-raw % bps)
+
+    def decode(self, audio: np.ndarray, search: bool = True) -> FrameSyncResult:
+        """Locate and decode one frame from received audio.
+
+        Args:
+            audio: received audio containing (at least) one frame.
+            search: slide the demodulator over candidate sample offsets to
+                find the preamble; with False the frame must start at
+                sample 0.
+
+        Raises:
+            DemodulationError: when no preamble is found within the
+                error budget, or the length field is implausible.
+        """
+        audio = ensure_real(audio, "audio")
+        sps = self.modem.samples_per_symbol
+        bps = self._bits_per_symbol()
+        header_symbols = int(np.ceil((PREAMBLE_BITS.size + LENGTH_FIELD_BITS) / bps))
+
+        offsets = range(0, max(audio.size - header_symbols * sps, 1), max(sps // 8, 1)) if search else (0,)
+        best: Optional[Tuple[int, int]] = None
+        for offset in offsets:
+            try:
+                header = self.modem.demodulate(
+                    audio[offset:], header_symbols * bps
+                )
+            except DemodulationError:
+                break
+            errors = count_bit_errors(PREAMBLE_BITS, header[: PREAMBLE_BITS.size])
+            if best is None or errors < best[1]:
+                best = (offset, errors)
+            if errors == 0:
+                break
+        if best is None or best[1] > self.max_preamble_errors:
+            raise DemodulationError("preamble not found")
+        offset, errors = best
+
+        header = self.modem.demodulate(audio[offset:], header_symbols * bps)
+        length_bits = header[PREAMBLE_BITS.size : PREAMBLE_BITS.size + LENGTH_FIELD_BITS]
+        length = int("".join(str(int(b)) for b in length_bits), 2)
+        if length == 0 or length > 4096:
+            raise DemodulationError(f"implausible payload length {length}")
+
+        total_bits = PREAMBLE_BITS.size + LENGTH_FIELD_BITS + 8 * length
+        total_bits += -total_bits % bps
+        frame_bits = self.modem.demodulate(audio[offset:], total_bits)
+        payload_bits = frame_bits[
+            PREAMBLE_BITS.size + LENGTH_FIELD_BITS : PREAMBLE_BITS.size + LENGTH_FIELD_BITS + 8 * length
+        ]
+        return FrameSyncResult(
+            sample_offset=offset,
+            preamble_errors=errors,
+            payload=bits_to_bytes(payload_bits),
+        )

@@ -1,0 +1,84 @@
+"""Slotted-ALOHA MAC for multiple backscatter devices on one FM band.
+
+Section 8: devices far apart coexist spatially; nearby devices can either
+use different ``fback`` values (different empty channels) or share a band
+with "MAC protocols similar to the Aloha protocol". This simulator
+quantifies that sharing: N devices each transmit in a slot with
+probability p, a slot succeeds when exactly one device transmits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rand import RngLike, as_generator
+
+
+@dataclass
+class AlohaStats:
+    """Results of a slotted-ALOHA run.
+
+    Attributes:
+        n_slots: simulated slots.
+        successes: slots with exactly one transmitter.
+        collisions: slots with two or more transmitters.
+        idle: empty slots.
+        throughput: successes / n_slots.
+    """
+
+    n_slots: int
+    successes: int
+    collisions: int
+    idle: int
+
+    @property
+    def throughput(self) -> float:
+        """Fraction of slots carrying a successful transmission."""
+        return self.successes / self.n_slots if self.n_slots else 0.0
+
+
+class SlottedAlohaSimulator:
+    """Monte-Carlo slotted ALOHA.
+
+    Args:
+        n_devices: number of backscatter devices sharing the band.
+        transmit_probability: per-slot transmission probability of each
+            device.
+    """
+
+    def __init__(self, n_devices: int, transmit_probability: float) -> None:
+        if n_devices < 1:
+            raise ConfigurationError("n_devices must be >= 1")
+        if not 0.0 <= transmit_probability <= 1.0:
+            raise ConfigurationError("transmit_probability must be in [0, 1]")
+        self.n_devices = n_devices
+        self.transmit_probability = transmit_probability
+
+    def run(self, n_slots: int, rng: RngLike = None) -> AlohaStats:
+        """Simulate ``n_slots`` slots and tally outcomes."""
+        if n_slots < 1:
+            raise ConfigurationError("n_slots must be >= 1")
+        gen = as_generator(rng)
+        transmissions = (
+            gen.random((n_slots, self.n_devices)) < self.transmit_probability
+        )
+        per_slot = transmissions.sum(axis=1)
+        successes = int(np.sum(per_slot == 1))
+        collisions = int(np.sum(per_slot > 1))
+        idle = int(np.sum(per_slot == 0))
+        return AlohaStats(n_slots, successes, collisions, idle)
+
+    def expected_throughput(self) -> float:
+        """Analytic throughput: N p (1-p)^(N-1)."""
+        p = self.transmit_probability
+        return self.n_devices * p * (1.0 - p) ** (self.n_devices - 1)
+
+    @staticmethod
+    def optimal_probability(n_devices: int) -> float:
+        """Throughput-maximizing per-device probability (1/N)."""
+        if n_devices < 1:
+            raise ConfigurationError("n_devices must be >= 1")
+        return 1.0 / n_devices

@@ -1,0 +1,86 @@
+"""Second-order IIR sections and the FM pre/de-emphasis networks.
+
+FM broadcasting boosts treble before modulation (pre-emphasis) and the
+receiver undoes it (de-emphasis, 75 us in North America). Both are
+first-order shelving networks; they are represented here with the same
+:class:`Biquad` machinery used elsewhere so the whole receive chain is a
+couple of composable filter objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.constants import DEEMPHASIS_US_SECONDS
+from repro.errors import ConfigurationError
+from repro.utils.validation import ensure_positive, ensure_real
+
+
+@dataclass(frozen=True)
+class Biquad:
+    """A direct-form II transposed IIR section ``b / a``.
+
+    Attributes:
+        b: numerator coefficients (length <= 3).
+        a: denominator coefficients (length <= 3, ``a[0]`` normalized to 1).
+    """
+
+    b: tuple
+    a: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.b) > 3 or len(self.a) > 3 or len(self.a) < 1:
+            raise ConfigurationError("biquad sections take at most 3 coefficients")
+        if abs(self.a[0] - 1.0) > 1e-12:
+            raise ConfigurationError("a[0] must be normalized to 1")
+
+    def apply(self, signal: np.ndarray) -> np.ndarray:
+        """Filter a real 1-D signal through this section."""
+        signal = ensure_real(signal, "signal")
+        return sp_signal.lfilter(self.b, self.a, signal)
+
+    def frequency_response(self, freqs_hz: np.ndarray, sample_rate: float) -> np.ndarray:
+        """Complex response at the given frequencies."""
+        w = 2.0 * np.pi * np.asarray(freqs_hz, dtype=float) / sample_rate
+        _, h = sp_signal.freqz(self.b, self.a, worN=w)
+        return h
+
+
+def deemphasis_filter(sample_rate: float, tau: float = DEEMPHASIS_US_SECONDS) -> Biquad:
+    """First-order de-emphasis network (RC low shelf) as a biquad.
+
+    Bilinear-transform discretization of ``H(s) = 1 / (1 + s * tau)``.
+
+    Args:
+        sample_rate: audio sample rate.
+        tau: time constant; 75 us (default) for North America, 50 us for
+            Europe.
+    """
+    sample_rate = ensure_positive(sample_rate, "sample_rate")
+    tau = ensure_positive(tau, "tau")
+    # Bilinear transform with frequency pre-warping at the pole.
+    k = 2.0 * sample_rate
+    b0 = 1.0 / (1.0 + k * tau)
+    b1 = b0
+    a1 = (1.0 - k * tau) / (1.0 + k * tau)
+    return Biquad(b=(b0, b1), a=(1.0, a1))
+
+
+def preemphasis_filter(sample_rate: float, tau: float = DEEMPHASIS_US_SECONDS) -> Biquad:
+    """First-order pre-emphasis network, the inverse of de-emphasis.
+
+    Discretizes ``H(s) = 1 + s * tau`` via the bilinear transform. Applying
+    pre-emphasis then de-emphasis returns the original signal (validated by
+    round-trip tests).
+    """
+    sample_rate = ensure_positive(sample_rate, "sample_rate")
+    tau = ensure_positive(tau, "tau")
+    k = 2.0 * sample_rate
+    # Exact inverse of deemphasis_filter: swap numerator and denominator,
+    # then normalize so a[0] == 1. The resulting pole sits at z = -1
+    # (Nyquist); that is fine for broadcast audio, which is band-limited to
+    # 15 kHz, far below Nyquist at the rates used here.
+    return Biquad(b=(1.0 + k * tau, 1.0 - k * tau), a=(1.0, 1.0))

@@ -1,0 +1,92 @@
+"""FIR filter design (windowed-sinc) and zero-phase filtering helpers.
+
+The FM stack needs sharp audio-band filters: a 15 kHz low-pass before FM
+modulation, band-passes to isolate the pilot / stereo / RDS subcarriers,
+and narrow filters around FSK tones. Windowed-sinc FIRs with Hann windows
+are simple, linear-phase, and entirely adequate at these sample rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.dsp.windows import hann_window
+from repro.errors import ConfigurationError
+from repro.utils.validation import ensure_1d, ensure_positive
+
+
+def design_lowpass_fir(cutoff_hz: float, sample_rate: float, num_taps: int = 257) -> np.ndarray:
+    """Design a linear-phase low-pass FIR via the windowed-sinc method.
+
+    Args:
+        cutoff_hz: -6 dB cutoff frequency.
+        sample_rate: sample rate of the signal the filter will run at.
+        num_taps: filter length; must be odd so group delay is an integer.
+
+    Returns:
+        Filter taps normalized to unity DC gain.
+    """
+    cutoff_hz = ensure_positive(cutoff_hz, "cutoff_hz")
+    sample_rate = ensure_positive(sample_rate, "sample_rate")
+    if cutoff_hz >= sample_rate / 2:
+        raise ConfigurationError(
+            f"cutoff {cutoff_hz} Hz must be below Nyquist {sample_rate / 2} Hz"
+        )
+    if num_taps < 3 or num_taps % 2 == 0:
+        raise ConfigurationError(f"num_taps must be odd and >= 3, got {num_taps}")
+    n = np.arange(num_taps) - (num_taps - 1) / 2
+    fc = cutoff_hz / sample_rate
+    taps = 2.0 * fc * np.sinc(2.0 * fc * n)
+    taps *= hann_window(num_taps)
+    return taps / np.sum(taps)
+
+
+def highpass_fir(cutoff_hz: float, sample_rate: float, num_taps: int = 257) -> np.ndarray:
+    """Design a linear-phase high-pass FIR by spectral inversion."""
+    lowpass = design_lowpass_fir(cutoff_hz, sample_rate, num_taps)
+    highpass = -lowpass
+    highpass[(num_taps - 1) // 2] += 1.0
+    return highpass
+
+
+def bandpass_fir(
+    low_hz: float, high_hz: float, sample_rate: float, num_taps: int = 257
+) -> np.ndarray:
+    """Design a linear-phase band-pass FIR as the difference of two low-passes.
+
+    Args:
+        low_hz: lower band edge.
+        high_hz: upper band edge (must exceed ``low_hz``).
+        sample_rate: sample rate the filter targets.
+        num_taps: odd filter length.
+    """
+    if high_hz <= low_hz:
+        raise ConfigurationError(f"high_hz ({high_hz}) must exceed low_hz ({low_hz})")
+    upper = design_lowpass_fir(high_hz, sample_rate, num_taps)
+    lower = design_lowpass_fir(low_hz, sample_rate, num_taps)
+    return upper - lower
+
+
+def filter_signal(taps: np.ndarray, signal: np.ndarray) -> np.ndarray:
+    """Apply an FIR filter with group-delay compensation.
+
+    Uses FFT convolution (fast for the long filters used here) and trims
+    the (num_taps - 1) / 2 sample group delay so the output is aligned with
+    the input, which keeps symbol boundaries where the modulator put them.
+
+    Args:
+        taps: FIR taps with odd length.
+        signal: real or complex input, 1-D.
+
+    Returns:
+        Filtered signal, same length and alignment as the input.
+    """
+    signal = ensure_1d(signal, "signal")
+    taps = np.asarray(taps, dtype=float)
+    if taps.ndim != 1 or taps.size % 2 == 0:
+        raise ConfigurationError("taps must be a 1-D odd-length array")
+    delay = (taps.size - 1) // 2
+    padded = np.concatenate([signal, np.zeros(delay, dtype=signal.dtype)])
+    filtered = sp_signal.fftconvolve(padded, taps, mode="full")
+    return filtered[delay : delay + signal.size]

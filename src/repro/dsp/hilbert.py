@@ -1,0 +1,30 @@
+"""Analytic-signal helpers for single-sideband processing.
+
+The paper's footnote 2 points to single-sideband backscatter (as in
+Interscatter) to remove the mirror ``cos(A - B)`` mixing product. SSB
+synthesis needs the Hilbert transform of the subcarrier waveform, wrapped
+here with validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.utils.validation import ensure_real
+
+
+def analytic_signal(signal: np.ndarray) -> np.ndarray:
+    """Complex analytic signal (signal + j * Hilbert(signal))."""
+    signal = ensure_real(signal, "signal")
+    return sp_signal.hilbert(signal)
+
+
+def hilbert_transform(signal: np.ndarray) -> np.ndarray:
+    """Hilbert transform (the imaginary part of the analytic signal)."""
+    return np.imag(analytic_signal(signal))
+
+
+def envelope(signal: np.ndarray) -> np.ndarray:
+    """Instantaneous amplitude envelope via the analytic signal."""
+    return np.abs(analytic_signal(signal))

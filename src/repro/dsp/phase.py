@@ -1,0 +1,45 @@
+"""Frequency <-> phase integration for FM synthesis and analysis.
+
+An FM signal is ``cos(2 pi fc t + 2 pi df * integral(audio))`` (paper
+Eq. 1). Synthesis therefore needs a running integral of the instantaneous
+frequency; analysis needs the discrete derivative of unwrapped phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_positive, ensure_real
+
+
+def frequency_to_phase(freq_hz: np.ndarray, sample_rate: float) -> np.ndarray:
+    """Integrate instantaneous frequency (Hz) into phase (radians).
+
+    Uses a cumulative sum with the convention that ``phase[0]`` reflects the
+    first frequency sample, matching a causal accumulator in hardware.
+
+    Args:
+        freq_hz: instantaneous frequency per sample.
+        sample_rate: sample rate of the frequency track.
+
+    Returns:
+        Phase in radians, same length as the input.
+    """
+    freq_hz = ensure_real(freq_hz, "freq_hz")
+    sample_rate = ensure_positive(sample_rate, "sample_rate")
+    return 2.0 * np.pi * np.cumsum(freq_hz) / sample_rate
+
+
+def phase_to_frequency(phase_rad: np.ndarray, sample_rate: float) -> np.ndarray:
+    """Differentiate unwrapped phase (radians) into frequency (Hz).
+
+    The inverse of :func:`frequency_to_phase` up to the first sample. The
+    first output sample duplicates the second so the result has the same
+    length as the input.
+    """
+    phase_rad = ensure_real(phase_rad, "phase_rad")
+    sample_rate = ensure_positive(sample_rate, "sample_rate")
+    freq = np.diff(phase_rad) * sample_rate / (2.0 * np.pi)
+    if freq.size == 0:
+        return np.zeros_like(phase_rad)
+    return np.concatenate([[freq[0]], freq])

@@ -1,0 +1,63 @@
+"""Sample-rate conversion.
+
+The library runs audio at 48 kHz and the MPX/complex-baseband domain at
+480 kHz (an exact factor of 10), so the main path is exact polyphase
+up/down-sampling. The cooperative receiver additionally resamples by 10x
+before cross-correlation, per section 3.3 of the paper, which reuses the
+same machinery.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import ensure_1d, ensure_positive
+
+
+def resample_poly_exact(signal: np.ndarray, up: int, down: int) -> np.ndarray:
+    """Polyphase resampling by the exact rational factor ``up / down``.
+
+    Thin, validated wrapper over ``scipy.signal.resample_poly``; exists so
+    every resampling step in the library funnels through one place.
+
+    Args:
+        signal: 1-D real or complex input.
+        up: integer upsampling factor (>= 1).
+        down: integer downsampling factor (>= 1).
+
+    Returns:
+        The resampled signal of length ``ceil(len(signal) * up / down)``.
+    """
+    signal = ensure_1d(signal, "signal")
+    if not isinstance(up, (int, np.integer)) or up < 1:
+        raise ConfigurationError(f"up must be a positive integer, got {up!r}")
+    if not isinstance(down, (int, np.integer)) or down < 1:
+        raise ConfigurationError(f"down must be a positive integer, got {down!r}")
+    if up == down:
+        return signal.copy()
+    return sp_signal.resample_poly(signal, int(up), int(down))
+
+
+def resample_by_ratio(
+    signal: np.ndarray, rate_in: float, rate_out: float, max_denominator: int = 1000
+) -> np.ndarray:
+    """Resample between two rates expressed in Hz.
+
+    The ratio is converted to the nearest rational with a bounded
+    denominator, then handed to :func:`resample_poly_exact`. For the
+    library's standard rates (48 kHz <-> 480 kHz) the ratio is exact.
+
+    Args:
+        signal: 1-D input.
+        rate_in: current sample rate in Hz.
+        rate_out: desired sample rate in Hz.
+        max_denominator: bound on the rational approximation.
+    """
+    rate_in = ensure_positive(rate_in, "rate_in")
+    rate_out = ensure_positive(rate_out, "rate_out")
+    ratio = Fraction(rate_out / rate_in).limit_denominator(max_denominator)
+    return resample_poly_exact(signal, ratio.numerator, ratio.denominator)

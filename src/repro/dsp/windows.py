@@ -1,0 +1,58 @@
+"""Window functions and smooth symbol shaping.
+
+Only the windows the rest of the library actually uses are implemented:
+Hann (for spectral estimation and FIR design) and raised-cosine edge
+shaping (to band-limit FSK symbol transitions so keying clicks do not
+splatter across the audio band).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def hann_window(length: int) -> np.ndarray:
+    """Periodic-symmetric Hann window of ``length`` samples.
+
+    Matches ``numpy.hanning`` for length >= 1 but rejects nonsense input
+    with a library error instead of returning an empty array.
+    """
+    if length < 1:
+        raise ConfigurationError(f"window length must be >= 1, got {length}")
+    if length == 1:
+        return np.ones(1)
+    n = np.arange(length)
+    return 0.5 - 0.5 * np.cos(2.0 * np.pi * n / (length - 1))
+
+
+def raised_cosine_edges(length: int, ramp: int) -> np.ndarray:
+    """Unit-amplitude envelope with raised-cosine ramps at both ends.
+
+    Args:
+        length: total envelope length in samples.
+        ramp: samples in each ramp; ``0`` returns a rectangular envelope.
+
+    Returns:
+        Array of ``length`` samples rising smoothly from 0 to 1 and back.
+
+    Raises:
+        ConfigurationError: if ``2 * ramp > length`` or arguments are
+            negative.
+    """
+    if length < 1:
+        raise ConfigurationError(f"envelope length must be >= 1, got {length}")
+    if ramp < 0:
+        raise ConfigurationError(f"ramp must be >= 0, got {ramp}")
+    if 2 * ramp > length:
+        raise ConfigurationError(
+            f"ramps ({ramp} samples each) do not fit in envelope of {length}"
+        )
+    envelope = np.ones(length)
+    if ramp == 0:
+        return envelope
+    ramp_shape = 0.5 * (1.0 - np.cos(np.pi * np.arange(ramp) / ramp))
+    envelope[:ramp] = ramp_shape
+    envelope[length - ramp :] = ramp_shape[::-1]
+    return envelope

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the FM backscatter reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class SignalError(ReproError):
+    """An input signal does not satisfy the requirements of an operation.
+
+    Examples: wrong dimensionality, mismatched sample rates, empty input
+    where a non-empty waveform is required.
+    """
+
+
+class SampleRateError(SignalError):
+    """Two signals (or a signal and a component) disagree on sample rate."""
+
+
+class DemodulationError(ReproError):
+    """The receiver could not extract the requested information.
+
+    Raised for example when a frame preamble cannot be located, or when
+    stereo decoding is requested but no 19 kHz pilot is present.
+    """
+
+
+class SynchronizationError(DemodulationError):
+    """Cross-correlation alignment between two receivers failed."""
+
+
+class LinkBudgetError(ReproError):
+    """A link-budget computation received physically meaningless inputs."""

@@ -1,0 +1,188 @@
+"""Shared end-to-end simulation chain for the experiment modules.
+
+The chain mirrors the paper's testbed:
+
+    FM station (USRP stand-in)  ->  backscatter device  ->  link budget
+    ->  FM receiver (phone / car)  ->  audio  ->  metric (SNR/BER/PESQ)
+
+The multiplication-to-addition identity (validated against true square-
+wave mixing in the test suite) lets the chain build the composite MPX
+directly: the receiver tuned to ``fc + fback`` demodulates
+``FMaudio + FMback`` plus RF noise set by the link budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.backscatter.device import BackscatterDevice, BackscatterMode
+from repro.backscatter.modulator import composite_mpx
+from repro.channel.antenna import Antenna, CAR_WHIP, DIPOLE_POSTER, HEADPHONE_WIRE
+from repro.channel.link import BackscatterLink, LinkBudget
+from repro.constants import AUDIO_RATE_HZ, MPX_RATE_HZ
+from repro.data.ber import bit_error_rate
+from repro.errors import ConfigurationError
+from repro.fm.modulator import fm_modulate
+from repro.fm.station import FMStation, StationConfig
+from repro.receiver.car import CarReceiver
+from repro.receiver.fm_receiver import FMReceiver, ReceivedAudio
+from repro.receiver.smartphone import SmartphoneReceiver
+from repro.utils.rand import RngLike, as_generator, child_generator
+
+
+@dataclass
+class ExperimentChain:
+    """One configured station + device + link + receiver pipeline.
+
+    Args:
+        program: ambient station program (``silence`` for the Fig. 6/7
+            unmodulated-carrier micro-benchmarks).
+        station_stereo: station broadcasts stereo (pilot present).
+        mode: backscatter payload placement.
+        power_dbm: ambient FM power at the backscatter device.
+        distance_ft: device-to-receiver distance.
+        receiver_kind: ``smartphone`` or ``car``.
+        back_amplitude: payload amplitude in the device baseband [0, 1];
+            scales the backscattered audio's share of the deviation.
+        fading: optional fading generator for the link.
+        stereo_decode: receiver attempts stereo decoding (needed for
+            stereo-backscatter modes; skipping it avoids the pilot PLL on
+            mono-band experiments).
+        agc: enable the smartphone recording-chain AGC.
+        dco_bits: when set, quantize the device baseband like the IC's
+            binary-weighted capacitor-bank oscillator (section 4; None
+            models an ideal continuous oscillator).
+    """
+
+    program: str = "news"
+    station_stereo: bool = True
+    mode: BackscatterMode = BackscatterMode.OVERLAY
+    power_dbm: float = -30.0
+    distance_ft: float = 4.0
+    receiver_kind: str = "smartphone"
+    back_amplitude: float = 1.0
+    fading: object = None
+    stereo_decode: bool = True
+    agc: bool = False
+    device_antenna: Antenna = field(default_factory=lambda: DIPOLE_POSTER)
+    dco_bits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.receiver_kind not in ("smartphone", "car"):
+            raise ConfigurationError("receiver_kind must be 'smartphone' or 'car'")
+        if not 0.0 < self.back_amplitude <= 1.0:
+            raise ConfigurationError("back_amplitude must be in (0, 1]")
+
+    def _receiver(self, rng) -> FMReceiver:
+        if self.receiver_kind == "car":
+            return CarReceiver(rng=child_generator(rng, "car"))
+        rx = SmartphoneReceiver(agc_enabled=self.agc, rng=child_generator(rng, "phone"))
+        rx.stereo_capable = self.stereo_decode
+        return rx
+
+    def _budget(self) -> LinkBudget:
+        if self.receiver_kind == "car":
+            # Car front ends are better on every axis (section 5.4):
+            # matched whip antenna, lower noise floor, sharper IF filters.
+            return LinkBudget(
+                ambient_power_at_device_dbm=self.power_dbm,
+                distance_ft=self.distance_ft,
+                device_antenna=self.device_antenna,
+                receiver_antenna=CAR_WHIP,
+                receiver_noise_floor_dbm=-100.0,
+                adjacent_suppression_db=85.0,
+            )
+        return LinkBudget(
+            ambient_power_at_device_dbm=self.power_dbm,
+            distance_ft=self.distance_ft,
+            device_antenna=self.device_antenna,
+            receiver_antenna=HEADPHONE_WIRE,
+        )
+
+    def rf_snr_db(self) -> float:
+        """RF SNR of the backscattered channel (link-budget output)."""
+        return self._budget().rf_snr_db()
+
+    def transmit(
+        self, payload_audio: np.ndarray, rng: RngLike = None
+    ) -> ReceivedAudio:
+        """Run one end-to-end transmission and return the received audio.
+
+        Args:
+            payload_audio: the device payload (audio or data waveform) at
+                the audio rate; its duration sets the simulation length.
+            rng: seed or Generator for the stochastic stages.
+        """
+        gen = as_generator(rng)
+        duration_s = payload_audio.size / AUDIO_RATE_HZ
+
+        station = FMStation(
+            StationConfig(program=self.program, stereo=self.station_stereo),
+            rng=child_generator(gen, "station"),
+        )
+        ambient_mpx = station.mpx(duration_s)
+
+        device = BackscatterDevice(mode=self.mode)
+        back_mpx = self.back_amplitude * device.baseband(payload_audio)
+        if self.dco_bits is not None:
+            from repro.backscatter.dco import CapacitorBankDco
+
+            back_mpx = CapacitorBankDco(n_bits=self.dco_bits).quantize_baseband(back_mpx)
+
+        comp = composite_mpx(ambient_mpx, back_mpx)
+        iq = fm_modulate(comp, MPX_RATE_HZ)
+
+        link = BackscatterLink(self._budget(), fading=self.fading)
+        rx_iq = link.transmit(iq, MPX_RATE_HZ, rng=child_generator(gen, "link"))
+
+        receiver = self._receiver(gen)
+        return receiver.receive(rx_iq)
+
+    def payload_channel(self, received: ReceivedAudio) -> np.ndarray:
+        """The audio stream carrying the payload for this chain's mode.
+
+        Overlay payloads live in the mono mix; stereo payloads are
+        recovered by differencing the receiver's L and R outputs (the
+        paper's trick, section 3.3.1).
+        """
+        if self.mode is BackscatterMode.OVERLAY:
+            return received.mono
+        return received.difference
+
+
+def simulate_overlay_audio(
+    payload_audio: np.ndarray,
+    power_dbm: float,
+    distance_ft: float,
+    program: str = "news",
+    receiver_kind: str = "smartphone",
+    rng: RngLike = None,
+) -> Tuple[np.ndarray, ReceivedAudio]:
+    """Convenience wrapper: overlay one audio payload, return (payload
+    channel, full reception)."""
+    chain = ExperimentChain(
+        program=program,
+        power_dbm=power_dbm,
+        distance_ft=distance_ft,
+        receiver_kind=receiver_kind,
+        stereo_decode=False,
+    )
+    received = chain.transmit(payload_audio, rng)
+    return chain.payload_channel(received), received
+
+
+def measure_data_ber(
+    chain: ExperimentChain,
+    modem,
+    bits: np.ndarray,
+    rng: RngLike = None,
+) -> float:
+    """Transmit ``bits`` through ``chain`` with ``modem`` and return BER."""
+    waveform = modem.modulate(bits)
+    received = chain.transmit(waveform, rng)
+    audio = chain.payload_channel(received)
+    detected = modem.demodulate(audio, bits.size)
+    return bit_error_rate(bits, detected)

@@ -1,0 +1,43 @@
+"""Fig. 5 — stereo-stream power by program format.
+
+CDF of P(stereo band) / P(16-18 kHz guard band) for four station formats.
+The paper's shape: news/talk sits lowest (speech is identical in L and R,
+leaving the stereo stream nearly empty), music sits highest, mixed in
+between — the observation that motivates stereo backscatter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.audio.music import PROGRAM_TYPES
+from repro.survey.stereo_usage import stereo_to_noise_ratios_db
+from repro.utils.rand import RngLike, as_generator, child_generator
+
+
+def run(
+    n_snapshots: int = 10,
+    snapshot_seconds: float = 1.0,
+    rng: RngLike = None,
+) -> Dict[str, object]:
+    """Compute the Fig. 5 ratio distribution for each program format.
+
+    Returns:
+        dict keyed by program with the ratio list (dB) and its median.
+    """
+    gen = as_generator(rng)
+    out: Dict[str, object] = {}
+    for program in PROGRAM_TYPES:
+        ratios = stereo_to_noise_ratios_db(
+            program,
+            n_snapshots=n_snapshots,
+            snapshot_seconds=snapshot_seconds,
+            rng=child_generator(gen, program),
+        )
+        out[program] = {
+            "ratios_db": ratios.tolist(),
+            "median_db": float(np.median(ratios)),
+        }
+    return out

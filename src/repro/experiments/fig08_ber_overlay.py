@@ -1,0 +1,79 @@
+"""Fig. 8 — BER of overlay backscatter versus distance, power, bit rate.
+
+Data rides the mono band on top of real program audio (the paper replays
+8 s clips of news / mixed / pop / rock stations through a USRP). Three
+rates: 100 bps 2-FSK, and FDM-4FSK at 1.6 / 3.2 kbps. Expected shape:
+100 bps near-zero BER to >= 6 ft at every power down to -60 dBm (and past
+12 ft above -60 dBm); higher rates trade range; content with more
+high-frequency energy (rock) interferes more.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.data.bits import random_bits
+from repro.data.fdm import FdmFskModem
+from repro.data.fsk import BinaryFskModem
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentChain, measure_data_ber
+from repro.utils.rand import RngLike, as_generator, child_generator
+
+DEFAULT_POWERS_DBM = (-20.0, -30.0, -40.0, -50.0, -60.0)
+DEFAULT_DISTANCES_FT = (1, 2, 4, 6, 8, 12, 16, 20)
+
+RATE_CONFIGS = {
+    "100bps": {"kind": "bfsk", "n_bits": 150},
+    "1.6kbps": {"kind": "fdm", "symbol_rate": 200, "n_bits": 1600},
+    "3.2kbps": {"kind": "fdm", "symbol_rate": 400, "n_bits": 3200},
+}
+
+
+def make_modem(rate: str):
+    """Construct the paper's modem for a named bit rate."""
+    if rate not in RATE_CONFIGS:
+        raise ConfigurationError(f"rate must be one of {sorted(RATE_CONFIGS)}")
+    config = RATE_CONFIGS[rate]
+    if config["kind"] == "bfsk":
+        return BinaryFskModem()
+    return FdmFskModem(symbol_rate=config["symbol_rate"])
+
+
+def run(
+    rate: str = "100bps",
+    powers_dbm: Sequence[float] = DEFAULT_POWERS_DBM,
+    distances_ft: Sequence[float] = DEFAULT_DISTANCES_FT,
+    program: str = "news",
+    n_bits: int = None,
+    rng: RngLike = None,
+) -> Dict[str, object]:
+    """BER sweep for one bit rate (one panel of Fig. 8).
+
+    Returns:
+        dict with ``distances_ft`` and one BER list per power level
+        (keys ``"P<power>"``).
+    """
+    gen = as_generator(rng)
+    modem = make_modem(rate)
+    if n_bits is None:
+        n_bits = RATE_CONFIGS[rate]["n_bits"]
+    bits = random_bits(n_bits, child_generator(gen, "payload", rate))
+
+    results: Dict[str, object] = {"distances_ft": [float(d) for d in distances_ft]}
+    for power in powers_dbm:
+        series: List[float] = []
+        for distance in distances_ft:
+            chain = ExperimentChain(
+                program=program,
+                power_dbm=power,
+                distance_ft=distance,
+                stereo_decode=False,
+            )
+            ber = measure_data_ber(
+                chain, modem, bits, child_generator(gen, rate, power, distance)
+            )
+            series.append(ber)
+        results[f"P{int(power)}"] = series
+    return results

@@ -1,0 +1,77 @@
+"""Fig. 9 — BER with maximal-ratio combining, 1.6 kbps at -40 dBm.
+
+The device repeats the same transmission N times; each repetition faces
+*different* ambient program audio (the "noise" is the program, which is
+uncorrelated across repetitions), so summing the raw received signals
+before demodulation raises the effective SNR. The paper finds 2x MRC
+already collapses the BER.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.data.ber import bit_error_rate
+from repro.data.bits import random_bits
+from repro.data.fdm import FdmFskModem
+from repro.data.mrc import mrc_combine
+from repro.experiments.common import ExperimentChain
+from repro.utils.rand import RngLike, as_generator, child_generator
+
+DEFAULT_DISTANCES_FT = (2, 4, 8, 12, 16, 20)
+DEFAULT_MRC_FACTORS = (1, 2, 3, 4)
+DEFAULT_BACK_AMPLITUDE = 0.25
+"""Payload share of the device deviation. Fig. 9 operates in the
+interference-limited regime (errors come from the program audio, which is
+what MRC averages out); a reduced payload amplitude reproduces the
+paper's operating point where single-shot BER is a few percent."""
+
+
+def run(
+    distances_ft: Sequence[float] = DEFAULT_DISTANCES_FT,
+    mrc_factors: Sequence[int] = DEFAULT_MRC_FACTORS,
+    power_dbm: float = -40.0,
+    program: str = "rock",
+    n_bits: int = 1600,
+    back_amplitude: float = DEFAULT_BACK_AMPLITUDE,
+    rng: RngLike = None,
+) -> Dict[str, object]:
+    """BER vs distance for each MRC repetition count.
+
+    Returns:
+        dict with ``distances_ft`` and one list per factor (``"mrc1"``,
+        ``"mrc2"``, ...). ``mrc1`` is the no-combining baseline.
+    """
+    gen = as_generator(rng)
+    modem = FdmFskModem(symbol_rate=200)
+    bits = random_bits(n_bits, child_generator(gen, "payload"))
+    waveform = modem.modulate(bits)
+    max_factor = max(mrc_factors)
+
+    results: Dict[str, object] = {"distances_ft": [float(d) for d in distances_ft]}
+    series: Dict[int, List[float]] = {f: [] for f in mrc_factors}
+    for distance in distances_ft:
+        # Each repetition sees freshly drawn program audio and noise; the
+        # payload (and therefore the data waveform) is identical.
+        receptions = []
+        for rep in range(max_factor):
+            chain = ExperimentChain(
+                program=program,
+                power_dbm=power_dbm,
+                distance_ft=distance,
+                stereo_decode=False,
+                back_amplitude=back_amplitude,
+            )
+            received = chain.transmit(
+                waveform, child_generator(gen, "rep", distance, rep)
+            )
+            receptions.append(chain.payload_channel(received))
+        for factor in mrc_factors:
+            combined = mrc_combine(receptions[:factor])
+            detected = modem.demodulate(combined, bits.size)
+            series[factor].append(bit_error_rate(bits, detected))
+    for factor in mrc_factors:
+        results[f"mrc{factor}"] = series[factor]
+    return results

@@ -1,0 +1,111 @@
+"""Fig. 17b — smart-fabric BER while standing, walking, running.
+
+The sewn shirt antenna (316L conductive thread, body proximity loss)
+transmits at 100 bps and at 1.6 kbps with 2x MRC from an outdoor spot
+with -35..-40 dBm ambient power. Motion adds Rician fading at gait rate.
+Expected shape: 100 bps stays below ~0.005 BER even running; 1.6 kbps
+(with 2x MRC) sits around 0.02 standing and degrades with motion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.channel.antenna import MEANDER_SHIRT
+from repro.channel.fading import BodyMotionFading, MOTION_PROFILES
+from repro.data.ber import bit_error_rate
+from repro.data.bits import random_bits
+from repro.data.fdm import FdmFskModem
+from repro.data.fsk import BinaryFskModem
+from repro.data.mrc import mrc_combine
+from repro.experiments.common import ExperimentChain
+from repro.utils.rand import RngLike, as_generator, child_generator
+
+DEFAULT_MOTIONS = ("standing", "walking", "running")
+DEFAULT_POWER_DBM = -37.0
+DEFAULT_DISTANCE_FT = 8.0
+DEFAULT_BACK_AMPLITUDE = 0.3
+"""Fig. 17b operates where the 1.6 kbps link shows residual errors — the
+lossy fabric antenna plus a modest payload deviation share put the link
+in the interference/fading-limited regime the paper reports (BER ~0.02
+standing at 1.6 kbps, ~0 at 100 bps)."""
+
+
+def run(
+    motions: Sequence[str] = DEFAULT_MOTIONS,
+    power_dbm: float = DEFAULT_POWER_DBM,
+    distance_ft: float = DEFAULT_DISTANCE_FT,
+    n_bits_low: int = 200,
+    n_bits_high: int = 1600,
+    n_trials: int = 3,
+    back_amplitude: float = DEFAULT_BACK_AMPLITUDE,
+    rng: RngLike = None,
+) -> Dict[str, object]:
+    """BER per mobility state for 100 bps and 1.6 kbps + 2x MRC.
+
+    Returns:
+        dict with ``motions``, ``ber_100bps`` and ``ber_1.6kbps_mrc2``
+        lists (the two bar groups of Fig. 17b), averaged over trials.
+    """
+    gen = as_generator(rng)
+    bfsk = BinaryFskModem()
+    fdm = FdmFskModem(symbol_rate=200)
+    bits_low = random_bits(n_bits_low, child_generator(gen, "low"))
+    bits_high = random_bits(n_bits_high, child_generator(gen, "high"))
+    wave_low = bfsk.modulate(bits_low)
+    wave_high = fdm.modulate(bits_high)
+
+    results: Dict[str, object] = {"motions": list(motions)}
+    ber_low: List[float] = []
+    ber_high: List[float] = []
+    for motion in motions:
+        low_trials = []
+        high_trials = []
+        for trial in range(n_trials):
+            fading = BodyMotionFading(
+                motion, child_generator(gen, "fade", motion, trial)
+            )
+            chain = ExperimentChain(
+                program="news",
+                power_dbm=power_dbm,
+                distance_ft=distance_ft,
+                stereo_decode=False,
+                fading=fading,
+                device_antenna=MEANDER_SHIRT,
+                back_amplitude=back_amplitude,
+            )
+            received = chain.transmit(
+                wave_low, child_generator(gen, "rx_low", motion, trial)
+            )
+            detected = bfsk.demodulate(chain.payload_channel(received), bits_low.size)
+            low_trials.append(bit_error_rate(bits_low, detected))
+
+            # 1.6 kbps with 2x MRC: two receptions, fresh fading + program.
+            receptions = []
+            for rep in range(2):
+                fading_rep = BodyMotionFading(
+                    motion, child_generator(gen, "fade_hi", motion, trial, rep)
+                )
+                chain_hi = ExperimentChain(
+                    program="news",
+                    power_dbm=power_dbm,
+                    distance_ft=distance_ft,
+                    stereo_decode=False,
+                    fading=fading_rep,
+                    device_antenna=MEANDER_SHIRT,
+                    back_amplitude=back_amplitude,
+                )
+                received = chain_hi.transmit(
+                    wave_high, child_generator(gen, "rx_hi", motion, trial, rep)
+                )
+                receptions.append(chain_hi.payload_channel(received))
+            combined = mrc_combine(receptions)
+            detected = fdm.demodulate(combined, bits_high.size)
+            high_trials.append(bit_error_rate(bits_high, detected))
+        ber_low.append(float(np.mean(low_trials)))
+        ber_high.append(float(np.mean(high_trials)))
+    results["ber_100bps"] = ber_low
+    results["ber_1.6kbps_mrc2"] = ber_high
+    return results

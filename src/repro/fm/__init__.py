@@ -1,0 +1,31 @@
+"""FM broadcast stack: MPX composition, modulation, demodulation, RDS.
+
+Implements the full transmit chain of paper Fig. 3 (mono + 19 kHz pilot +
+38 kHz DSB-SC stereo + 57 kHz RDS) and the corresponding receive chain
+(quadrature discriminator, pilot-gated stereo decode, RDS decode).
+"""
+
+from repro.fm.band import BandStation, FMBandSimulator
+from repro.fm.mpx import MpxComponents, compose_mpx, decompose_mpx
+from repro.fm.modulator import fm_modulate, fm_modulate_mpx
+from repro.fm.demodulator import fm_demodulate
+from repro.fm.pilot import detect_pilot, pilot_power_ratio_db
+from repro.fm.stereo import StereoAudio, decode_stereo
+from repro.fm.station import FMStation, StationConfig
+
+__all__ = [
+    "BandStation",
+    "FMBandSimulator",
+    "FMStation",
+    "MpxComponents",
+    "StationConfig",
+    "StereoAudio",
+    "compose_mpx",
+    "decode_stereo",
+    "decompose_mpx",
+    "detect_pilot",
+    "fm_demodulate",
+    "fm_modulate",
+    "fm_modulate_mpx",
+    "pilot_power_ratio_db",
+]

@@ -1,0 +1,58 @@
+"""FM demodulation: quadrature (polar) discriminator.
+
+Section 3.2 of the paper describes FM decoding as differentiating the
+baseband phase; real receivers implement it with PLLs or quadrature
+discriminators. We use the discriminator form: the angle of
+``x[n] * conj(x[n-1])`` is the per-sample phase increment, i.e. the
+instantaneous frequency, which *is* the MPX baseband scaled by the
+deviation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import FM_MAX_DEVIATION_HZ, MPX_RATE_HZ
+from repro.errors import SignalError
+from repro.utils.validation import ensure_1d, ensure_positive
+
+
+def fm_demodulate(
+    iq: np.ndarray,
+    sample_rate: float = MPX_RATE_HZ,
+    deviation_hz: float = FM_MAX_DEVIATION_HZ,
+) -> np.ndarray:
+    """Recover the MPX baseband from a complex FM envelope.
+
+    Args:
+        iq: complex envelope samples.
+        sample_rate: sample rate of ``iq``.
+        deviation_hz: deviation used at the modulator; output is scaled so
+            full deviation maps back to +/-1.
+
+    Returns:
+        Real MPX estimate, same length as the input (first sample
+        duplicated, matching :func:`repro.dsp.phase.phase_to_frequency`).
+
+    Raises:
+        SignalError: if the input is not complex or is all zeros (no
+            carrier to demodulate).
+    """
+    iq = ensure_1d(iq, "iq")
+    if not np.iscomplexobj(iq):
+        raise SignalError("iq must be a complex envelope")
+    sample_rate = ensure_positive(sample_rate, "sample_rate")
+    deviation_hz = ensure_positive(deviation_hz, "deviation_hz")
+    if not np.any(np.abs(iq) > 0):
+        raise SignalError("iq contains no signal (all zeros)")
+    # Quadrature discriminator. Guard against zero samples from hard
+    # channel fades by substituting the previous sample (limiter behavior).
+    magnitude = np.abs(iq)
+    floor = 1e-12 * float(np.max(magnitude))
+    safe = np.where(magnitude > floor, iq, floor)
+    increments = np.angle(safe[1:] * np.conj(safe[:-1]))
+    inst_freq = increments * sample_rate / (2.0 * np.pi)
+    if inst_freq.size == 0:
+        return np.zeros(1)
+    inst_freq = np.concatenate([[inst_freq[0]], inst_freq])
+    return inst_freq / deviation_hz

@@ -1,0 +1,37 @@
+"""19 kHz stereo-pilot detection.
+
+A stereo receiver enables its stereo decoder only when it detects the
+19 kHz pilot with sufficient power (paper sections 3.2 and 5.3: at low FM
+power "receivers cannot decode the pilot signal and default back to mono
+mode"). Detection compares pilot-band power against the neighboring empty
+16-18 kHz guard band.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import MPX_RATE_HZ, PILOT_FREQ_HZ
+from repro.dsp.spectrum import band_power
+from repro.utils.validation import ensure_positive, ensure_real
+
+PILOT_DETECT_THRESHOLD_DB = 6.0
+"""Pilot-to-guard-band power ratio above which the pilot is declared."""
+
+
+def pilot_power_ratio_db(mpx: np.ndarray, mpx_rate: float = MPX_RATE_HZ) -> float:
+    """Ratio (dB) of 19 kHz pilot-band power to 16-18 kHz guard power."""
+    mpx = ensure_real(mpx, "mpx")
+    mpx_rate = ensure_positive(mpx_rate, "mpx_rate")
+    pilot = band_power(mpx, mpx_rate, PILOT_FREQ_HZ - 250.0, PILOT_FREQ_HZ + 250.0)
+    guard = band_power(mpx, mpx_rate, 16e3, 18e3)
+    return float(10.0 * np.log10(max(pilot, 1e-30) / max(guard, 1e-30)))
+
+
+def detect_pilot(
+    mpx: np.ndarray,
+    mpx_rate: float = MPX_RATE_HZ,
+    threshold_db: float = PILOT_DETECT_THRESHOLD_DB,
+) -> bool:
+    """True when the 19 kHz pilot is detectably present in the MPX."""
+    return pilot_power_ratio_db(mpx, mpx_rate) > threshold_db

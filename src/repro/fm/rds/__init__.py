@@ -1,0 +1,54 @@
+"""Radio Data System (RDS) encoder/decoder.
+
+The paper's Fig. 3 includes the 57 kHz RDS subcarrier as part of the FM
+baseband structure; this subpackage implements enough of the RDS standard
+(CENELEC EN 50067) to broadcast and decode program-service names and
+radiotext: 26-bit blocks with CRC checkwords and offset words, group types
+0A and 2A, differential encoding and biphase symbols on the 57 kHz
+carrier.
+"""
+
+from repro.fm.rds.crc import (
+    OFFSET_WORDS,
+    append_checkword,
+    compute_crc,
+    syndrome,
+    verify_block,
+)
+from repro.fm.rds.groups import (
+    Group,
+    decode_groups,
+    make_group_0a,
+    make_group_2a,
+    make_group_4a,
+    groups_for_program,
+)
+from repro.fm.rds.bitstream import (
+    biphase_waveform,
+    bits_from_waveform,
+    differential_decode,
+    differential_encode,
+)
+from repro.fm.rds.encoder import RdsEncoder
+from repro.fm.rds.decoder import RdsDecoder, RdsMessage
+
+__all__ = [
+    "Group",
+    "OFFSET_WORDS",
+    "RdsDecoder",
+    "RdsEncoder",
+    "RdsMessage",
+    "append_checkword",
+    "biphase_waveform",
+    "bits_from_waveform",
+    "compute_crc",
+    "decode_groups",
+    "differential_decode",
+    "differential_encode",
+    "groups_for_program",
+    "make_group_0a",
+    "make_group_2a",
+    "make_group_4a",
+    "syndrome",
+    "verify_block",
+]

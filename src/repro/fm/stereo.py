@@ -1,0 +1,112 @@
+"""Stereo MPX decoding: pilot-locked L/R separation.
+
+Receivers do not expose the L-R stream directly (paper section 3.3.1);
+they output left and right channels. This module reproduces that: it
+recovers the pilot with a PLL, regenerates the 38 kHz subcarrier,
+synchronously demodulates L-R, and matrixes L = (L+R) + (L-R),
+R = (L+R) - (L-R). When no pilot is detected the receiver stays in mono
+mode and L == R, exactly the fallback behaviour the paper leans on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import AUDIO_RATE_HZ, MPX_RATE_HZ, PILOT_FREQ_HZ
+from repro.dsp.filters import bandpass_fir, design_lowpass_fir, filter_signal
+from repro.dsp.pll import PhaseLockedLoop
+from repro.dsp.resample import resample_by_ratio
+from repro.fm.pilot import detect_pilot
+from repro.utils.validation import ensure_positive, ensure_real
+
+
+@dataclass
+class StereoAudio:
+    """Result of stereo decoding.
+
+    Attributes:
+        left: left channel at ``audio_rate``.
+        right: right channel at ``audio_rate``.
+        stereo_locked: True when the pilot was detected and the stereo
+            matrix was applied; False means mono fallback (left == right).
+        audio_rate: sample rate of the channels.
+    """
+
+    left: np.ndarray
+    right: np.ndarray
+    stereo_locked: bool
+    audio_rate: float
+
+    @property
+    def mono(self) -> np.ndarray:
+        """The (L+R)/2 mono mix."""
+        return 0.5 * (self.left + self.right)
+
+    @property
+    def difference(self) -> np.ndarray:
+        """The (L-R)/2 stereo difference — the paper's stereo-backscatter
+        recovery step (subtract the receiver's L and R outputs)."""
+        return 0.5 * (self.left - self.right)
+
+
+def decode_stereo(
+    mpx: np.ndarray,
+    mpx_rate: float = MPX_RATE_HZ,
+    audio_rate: float = AUDIO_RATE_HZ,
+    force_stereo: bool = False,
+) -> StereoAudio:
+    """Decode an MPX baseband into left/right audio.
+
+    Args:
+        mpx: demodulated composite baseband.
+        mpx_rate: sample rate of ``mpx``.
+        audio_rate: desired output audio rate.
+        force_stereo: decode the stereo matrix even without a confident
+            pilot detection (used by tests; real receivers gate on the
+            pilot, which is the default).
+
+    Returns:
+        :class:`StereoAudio` with mono fallback when no pilot is present.
+    """
+    mpx = ensure_real(mpx, "mpx")
+    mpx_rate = ensure_positive(mpx_rate, "mpx_rate")
+    audio_rate = ensure_positive(audio_rate, "audio_rate")
+
+    mono_mpx = filter_signal(design_lowpass_fir(15e3, mpx_rate, 513), mpx)
+    mono = resample_by_ratio(mono_mpx, mpx_rate, audio_rate)
+
+    has_pilot = detect_pilot(mpx, mpx_rate)
+    if not (has_pilot or force_stereo):
+        return StereoAudio(left=mono, right=mono.copy(), stereo_locked=False, audio_rate=audio_rate)
+
+    # Recover the pilot and regenerate the 38 kHz carrier coherently. The
+    # PLL runs on a 5x-decimated pilot band (the 19 kHz tone is still well
+    # below the decimated Nyquist) and its unwrapped phase is linearly
+    # interpolated back to the MPX rate — the phase of a narrowband tone
+    # is nearly linear over 5 samples, and this cuts the loop's Python
+    # iteration count fivefold.
+    pilot_band = filter_signal(bandpass_fir(18.5e3, 19.5e3, mpx_rate, 1025), mpx)
+    decimation = 5
+    decimated_rate = mpx_rate / decimation
+    pll = PhaseLockedLoop(PILOT_FREQ_HZ, decimated_rate, loop_bandwidth_hz=30.0)
+    track = pll.track(pilot_band[::decimation])
+    if not (track.locked or force_stereo):
+        return StereoAudio(left=mono, right=mono.copy(), stereo_locked=False, audio_rate=audio_rate)
+
+    sample_positions = np.arange(mpx.size) / decimation
+    phase_full = np.interp(
+        sample_positions, np.arange(track.phase.size), track.phase
+    )
+    carrier38 = np.cos(2.0 * phase_full)
+    stereo_band = filter_signal(bandpass_fir(23e3, 53e3, mpx_rate, 513), mpx)
+    # Synchronous AM detection; factor 2 undoes the 1/2 from the product.
+    diff_mpx = 2.0 * stereo_band * carrier38
+    diff_mpx = filter_signal(design_lowpass_fir(15e3, mpx_rate, 513), diff_mpx)
+    diff = resample_by_ratio(diff_mpx, mpx_rate, audio_rate)
+
+    n = min(mono.size, diff.size)
+    left = mono[:n] + diff[:n]
+    right = mono[:n] - diff[:n]
+    return StereoAudio(left=left, right=right, stereo_locked=True, audio_rate=audio_rate)

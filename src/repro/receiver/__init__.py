@@ -1,0 +1,29 @@
+"""FM receiver models: smartphone, car, and cooperative two-phone MIMO.
+
+Receivers consume a complex envelope (the backscattered channel after the
+link) and produce what the paper's devices produce: *audio only*. The
+smartphone chain includes the ~13 kHz audio cutoff measured in Fig. 6; the
+car chain adds the speaker-to-microphone acoustic path of section 5.4; the
+cooperative receiver implements the section 3.3 cancellation algorithm
+(10x resampling, cross-correlation sync, 13 kHz pilot amplitude
+calibration).
+"""
+
+from repro.receiver.fm_receiver import FMReceiver, ReceivedAudio
+from repro.receiver.smartphone import SmartphoneReceiver
+from repro.receiver.car import CarReceiver
+from repro.receiver.cooperative import CooperativeReceiver, CooperativeResult
+from repro.receiver.scanner import BandScanner, ChannelObservation
+from repro.receiver.channelizer import Channelizer
+
+__all__ = [
+    "BandScanner",
+    "CarReceiver",
+    "Channelizer",
+    "ChannelObservation",
+    "CooperativeReceiver",
+    "CooperativeResult",
+    "FMReceiver",
+    "ReceivedAudio",
+    "SmartphoneReceiver",
+]

@@ -1,0 +1,79 @@
+"""Car FM receiver (2010 Honda CRV-class) with the cabin acoustic path.
+
+Section 5.4: the car radio has a better antenna and front end than a
+phone, but is *not programmable*, so the only output is sound from the
+speakers — the paper records it with a microphone, engine running and
+windows closed. We model the receiver with a lower noise floor plus an
+acoustic path: speaker/cabin band-limiting and engine noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import AUDIO_RATE_HZ, MPX_RATE_HZ
+from repro.dsp.filters import bandpass_fir, design_lowpass_fir, filter_signal
+from repro.receiver.fm_receiver import FMReceiver, ReceivedAudio
+from repro.utils.rand import RngLike, as_generator
+
+CAR_AUDIO_CUTOFF_HZ = 15_000.0
+"""Car stereos pass the full broadcast audio band."""
+
+CABIN_NOISE_SNR_DB = 40.0
+"""Engine + cabin noise relative to the program level at the microphone."""
+
+
+class CarReceiver(FMReceiver):
+    """Car radio + speaker + cabin-microphone chain.
+
+    Args:
+        mpx_rate: IQ sample rate.
+        audio_rate: output audio rate.
+        cabin_noise_snr_db: acoustic SNR of the microphone recording.
+        rng: seed or Generator for the cabin noise.
+    """
+
+    def __init__(
+        self,
+        mpx_rate: float = MPX_RATE_HZ,
+        audio_rate: float = AUDIO_RATE_HZ,
+        cabin_noise_snr_db: float = CABIN_NOISE_SNR_DB,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(
+            mpx_rate=mpx_rate,
+            audio_rate=audio_rate,
+            audio_cutoff_hz=CAR_AUDIO_CUTOFF_HZ,
+        )
+        self.cabin_noise_snr_db = cabin_noise_snr_db
+        self._rng = as_generator(rng)
+
+    def _acoustic_path(self, audio: np.ndarray) -> np.ndarray:
+        """Speaker -> cabin -> microphone: band-limit plus engine noise."""
+        # Speakers and mic pass ~60 Hz - 12 kHz.
+        shaped = filter_signal(
+            bandpass_fir(60.0, min(12e3, self.audio_rate / 2 * 0.9), self.audio_rate, 257),
+            audio,
+        )
+        signal_power = float(np.mean(shaped**2))
+        if signal_power <= 0:
+            return shaped
+        # Engine noise is low-frequency dominated: shape white noise down.
+        noise = self._rng.standard_normal(shaped.size)
+        noise = filter_signal(design_lowpass_fir(400.0, self.audio_rate, 129), noise)
+        noise += 0.1 * self._rng.standard_normal(shaped.size)
+        noise_power = float(np.mean(noise**2))
+        target_noise_power = signal_power / (10.0 ** (self.cabin_noise_snr_db / 10.0))
+        noise *= np.sqrt(target_noise_power / max(noise_power, 1e-30))
+        return shaped + noise
+
+    def receive(self, iq: np.ndarray) -> ReceivedAudio:
+        """Receive and pass the audio through the cabin microphone path."""
+        result = super().receive(iq)
+        return ReceivedAudio(
+            left=self._acoustic_path(result.left),
+            right=self._acoustic_path(result.right),
+            stereo_locked=result.stereo_locked,
+            mpx=result.mpx,
+            audio_rate=result.audio_rate,
+        )

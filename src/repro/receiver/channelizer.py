@@ -1,0 +1,74 @@
+"""Channelizer: extract one FM channel from a wideband band slice.
+
+The front half of a scanning receiver: mix the chosen channel to zero,
+low-pass to the channel bandwidth, and decimate to the library's standard
+480 kHz complex-baseband rate where :class:`repro.receiver.FMReceiver`
+takes over.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import FM_CHANNEL_SPACING_HZ, MPX_RATE_HZ
+from repro.dsp.filters import design_lowpass_fir, filter_signal
+from repro.dsp.resample import resample_by_ratio
+from repro.errors import ConfigurationError
+from repro.utils.validation import ensure_1d, ensure_positive
+
+
+class Channelizer:
+    """Select and downconvert one channel from wideband IQ.
+
+    Args:
+        input_rate: sample rate of the wideband input.
+        output_rate: complex-baseband rate handed to the FM receiver.
+        channel_bandwidth_hz: low-pass bandwidth around the selected
+            channel (slightly wider than the 200 kHz grid to pass the
+            full Carson bandwidth).
+    """
+
+    def __init__(
+        self,
+        input_rate: float,
+        output_rate: float = MPX_RATE_HZ,
+        channel_bandwidth_hz: float = 150e3,
+    ) -> None:
+        self.input_rate = ensure_positive(input_rate, "input_rate")
+        self.output_rate = ensure_positive(output_rate, "output_rate")
+        self.channel_bandwidth_hz = ensure_positive(
+            channel_bandwidth_hz, "channel_bandwidth_hz"
+        )
+        if output_rate > input_rate:
+            raise ConfigurationError("output_rate must not exceed input_rate")
+        if 2 * channel_bandwidth_hz > output_rate:
+            raise ConfigurationError("output_rate cannot carry the channel bandwidth")
+
+    def extract(self, band_iq: np.ndarray, channel_offset: int) -> np.ndarray:
+        """Downconvert the channel at ``channel_offset`` to baseband.
+
+        Args:
+            band_iq: wideband complex input.
+            channel_offset: channel index relative to the slice center.
+
+        Returns:
+            Complex envelope at ``output_rate``, normalized to unit RMS
+            (receivers are amplitude-agnostic; the limiter normalizes).
+        """
+        band_iq = ensure_1d(band_iq, "band_iq")
+        if not np.iscomplexobj(band_iq):
+            raise ConfigurationError("band_iq must be complex")
+        center = channel_offset * FM_CHANNEL_SPACING_HZ
+        if abs(center) + self.channel_bandwidth_hz > self.input_rate / 2:
+            raise ConfigurationError("channel does not fit in the input bandwidth")
+        t = np.arange(band_iq.size) / self.input_rate
+        mixed = band_iq * np.exp(-2j * np.pi * center * t)
+        taps = design_lowpass_fir(self.channel_bandwidth_hz, self.input_rate, 513)
+        filtered = filter_signal(taps, mixed.real) + 1j * filter_signal(
+            taps, mixed.imag
+        )
+        baseband = resample_by_ratio(filtered, self.input_rate, self.output_rate)
+        rms = float(np.sqrt(np.mean(np.abs(baseband) ** 2)))
+        if rms <= 0:
+            raise ConfigurationError("selected channel contains no signal")
+        return baseband / rms

@@ -1,0 +1,80 @@
+"""Smartphone FM receiver (Moto G1-class).
+
+The paper decodes on a Moto G1 with headphone-cable antenna through
+Motorola's FM app, which stores AAC audio. Fig. 6 shows the resulting
+chain is flat to ~13 kHz then falls off a cliff; the app/codec also
+applies gain control. Both effects matter: the 13 kHz cutoff bounds the
+usable FSK tone range, and the AGC is why cooperative backscatter needs
+its amplitude-calibration pilot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import AUDIO_RATE_HZ, MPX_RATE_HZ
+from repro.dsp.agc import AutomaticGainControl
+from repro.receiver.fm_receiver import FMReceiver, ReceivedAudio
+from repro.utils.rand import RngLike, as_generator
+
+SMARTPHONE_AUDIO_CUTOFF_HZ = 13_000.0
+"""The Fig. 6 measured cutoff of the phone + app + codec chain."""
+
+
+class SmartphoneReceiver(FMReceiver):
+    """Moto G1-style receiver: 13 kHz audio cutoff, AGC, codec noise.
+
+    Args:
+        mpx_rate: IQ sample rate.
+        audio_rate: output audio rate.
+        agc_enabled: model the recording chain's gain control.
+        agc_dynamic: when True, run the block-adaptive AGC (gain follows
+            the program envelope); when False (default), apply a single
+            recording-level gain like apps that set input gain once — the
+            behaviour the paper's one-shot pilot calibration assumes.
+        codec_noise_db: noise floor added by the AAC-class codec, in dB
+            below full scale (negative number).
+        rng: seed or Generator for the codec noise.
+    """
+
+    def __init__(
+        self,
+        mpx_rate: float = MPX_RATE_HZ,
+        audio_rate: float = AUDIO_RATE_HZ,
+        agc_enabled: bool = True,
+        agc_dynamic: bool = False,
+        codec_noise_db: float = -60.0,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(
+            mpx_rate=mpx_rate,
+            audio_rate=audio_rate,
+            audio_cutoff_hz=SMARTPHONE_AUDIO_CUTOFF_HZ,
+        )
+        self.agc_enabled = agc_enabled
+        self.agc_dynamic = agc_dynamic
+        self.codec_noise_db = codec_noise_db
+        self._agc = AutomaticGainControl(sample_rate=audio_rate)
+        self._rng = as_generator(rng)
+
+    def _finalize(self, audio: np.ndarray) -> np.ndarray:
+        if self.agc_enabled:
+            if self.agc_dynamic:
+                audio = self._agc.apply(audio)
+            else:
+                audio = self._agc.static_gain(audio) * audio
+        if self.codec_noise_db is not None:
+            noise_rms = 10.0 ** (self.codec_noise_db / 20.0)
+            audio = audio + noise_rms * self._rng.standard_normal(audio.size)
+        return audio
+
+    def receive(self, iq: np.ndarray) -> ReceivedAudio:
+        """Receive and apply the phone's recording-chain effects."""
+        result = super().receive(iq)
+        return ReceivedAudio(
+            left=self._finalize(result.left),
+            right=self._finalize(result.right),
+            stereo_locked=result.stereo_locked,
+            mpx=result.mpx,
+            audio_rate=result.audio_rate,
+        )

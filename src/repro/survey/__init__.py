@@ -1,0 +1,29 @@
+"""FM-band surveys: signal strength, channel occupancy, stereo usage.
+
+Reproduces the measurement studies of paper sections 3.1-3.3: the Seattle
+drive test (Fig. 2), the five-city channel occupancy and minimum-shift
+statistics (Fig. 4), and the stereo-stream utilization of different
+program formats (Fig. 5).
+"""
+
+from repro.survey.stations import CITY_PROFILES, CityProfile, generate_band_plan
+from repro.survey.occupancy import (
+    min_shift_frequencies_hz,
+    occupancy_summary,
+    unoccupied_channels,
+)
+from repro.survey.drivetest import CitySurvey, SurveyResult, diurnal_power_series
+from repro.survey.stereo_usage import stereo_to_noise_ratios_db
+
+__all__ = [
+    "CITY_PROFILES",
+    "CityProfile",
+    "CitySurvey",
+    "SurveyResult",
+    "diurnal_power_series",
+    "generate_band_plan",
+    "min_shift_frequencies_hz",
+    "occupancy_summary",
+    "stereo_to_noise_ratios_db",
+    "unoccupied_channels",
+]

@@ -1,0 +1,39 @@
+"""Shared utilities: unit conversions, validation, RNG helpers."""
+
+from repro.utils.units import (
+    db_to_linear,
+    dbm_to_watts,
+    feet_to_meters,
+    linear_to_db,
+    meters_to_feet,
+    power_ratio_db,
+    voltage_ratio_db,
+    watts_to_dbm,
+    wavelength_m,
+)
+from repro.utils.validation import (
+    ensure_1d,
+    ensure_equal_length,
+    ensure_in_range,
+    ensure_positive,
+    ensure_real,
+)
+from repro.utils.rand import as_generator
+
+__all__ = [
+    "as_generator",
+    "db_to_linear",
+    "dbm_to_watts",
+    "ensure_1d",
+    "ensure_equal_length",
+    "ensure_in_range",
+    "ensure_positive",
+    "ensure_real",
+    "feet_to_meters",
+    "linear_to_db",
+    "meters_to_feet",
+    "power_ratio_db",
+    "voltage_ratio_db",
+    "watts_to_dbm",
+    "wavelength_m",
+]

@@ -1,0 +1,89 @@
+"""Unit conversions used throughout the link-budget and survey code.
+
+All functions accept scalars or numpy arrays and return the matching type.
+Power quantities follow RF conventions: dBm is decibels relative to one
+milliwatt, and the paper reports distances in feet, so both feet/meter
+conversions are provided.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.constants import SPEED_OF_LIGHT_M_S
+
+ArrayLike = Union[float, np.ndarray]
+
+_FOOT_IN_METERS = 0.3048
+
+
+def dbm_to_watts(dbm: ArrayLike) -> ArrayLike:
+    """Convert power in dBm to watts."""
+    return 1e-3 * 10.0 ** (np.asarray(dbm, dtype=float) / 10.0)
+
+
+def watts_to_dbm(watts: ArrayLike) -> ArrayLike:
+    """Convert power in watts to dBm.
+
+    Raises:
+        ValueError: if any power is not strictly positive.
+    """
+    watts = np.asarray(watts, dtype=float)
+    if np.any(watts <= 0):
+        raise ValueError("power must be positive to express in dBm")
+    return 10.0 * np.log10(watts / 1e-3)
+
+
+def db_to_linear(db: ArrayLike) -> ArrayLike:
+    """Convert a power ratio in dB to a linear ratio."""
+    return 10.0 ** (np.asarray(db, dtype=float) / 10.0)
+
+
+def linear_to_db(ratio: ArrayLike) -> ArrayLike:
+    """Convert a linear power ratio to dB.
+
+    Raises:
+        ValueError: if any ratio is not strictly positive.
+    """
+    ratio = np.asarray(ratio, dtype=float)
+    if np.any(ratio <= 0):
+        raise ValueError("ratio must be positive to express in dB")
+    return 10.0 * np.log10(ratio)
+
+
+def power_ratio_db(p_num: ArrayLike, p_den: ArrayLike) -> ArrayLike:
+    """dB ratio of two powers (``10 log10(p_num / p_den)``)."""
+    return linear_to_db(np.asarray(p_num, dtype=float) / np.asarray(p_den, dtype=float))
+
+
+def voltage_ratio_db(v_num: ArrayLike, v_den: ArrayLike) -> ArrayLike:
+    """dB ratio of two amplitudes (``20 log10(v_num / v_den)``)."""
+    num = np.abs(np.asarray(v_num, dtype=float))
+    den = np.abs(np.asarray(v_den, dtype=float))
+    if np.any(num <= 0) or np.any(den <= 0):
+        raise ValueError("amplitudes must be non-zero")
+    return 20.0 * np.log10(num / den)
+
+
+def feet_to_meters(feet: ArrayLike) -> ArrayLike:
+    """Convert feet to meters."""
+    return np.asarray(feet, dtype=float) * _FOOT_IN_METERS
+
+
+def meters_to_feet(meters: ArrayLike) -> ArrayLike:
+    """Convert meters to feet."""
+    return np.asarray(meters, dtype=float) / _FOOT_IN_METERS
+
+
+def wavelength_m(frequency_hz: ArrayLike) -> ArrayLike:
+    """Free-space wavelength in meters for a frequency in Hz.
+
+    Raises:
+        ValueError: if any frequency is not strictly positive.
+    """
+    frequency_hz = np.asarray(frequency_hz, dtype=float)
+    if np.any(frequency_hz <= 0):
+        raise ValueError("frequency must be positive")
+    return SPEED_OF_LIGHT_M_S / frequency_hz

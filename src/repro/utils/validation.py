@@ -1,0 +1,69 @@
+"""Input-validation helpers.
+
+These raise :class:`repro.errors.SignalError` or
+:class:`repro.errors.ConfigurationError` with messages that name the
+offending argument, so failures surface at API boundaries rather than deep
+inside numpy broadcasting.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SignalError
+
+
+def ensure_1d(signal: np.ndarray, name: str = "signal") -> np.ndarray:
+    """Return ``signal`` as a 1-D float or complex numpy array.
+
+    Raises:
+        SignalError: if the input is empty or not one-dimensional.
+    """
+    arr = np.asarray(signal)
+    if arr.ndim != 1:
+        raise SignalError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise SignalError(f"{name} must be non-empty")
+    if not np.iscomplexobj(arr):
+        arr = arr.astype(float, copy=False)
+    return arr
+
+
+def ensure_real(signal: np.ndarray, name: str = "signal") -> np.ndarray:
+    """Return ``signal`` as a real 1-D array, rejecting complex input."""
+    arr = ensure_1d(signal, name)
+    if np.iscomplexobj(arr):
+        raise SignalError(f"{name} must be real-valued")
+    return arr
+
+
+def ensure_equal_length(a: np.ndarray, b: np.ndarray, names: str = "signals") -> None:
+    """Raise :class:`SignalError` unless the two arrays have equal length."""
+    if len(a) != len(b):
+        raise SignalError(f"{names} must have equal length ({len(a)} != {len(b)})")
+
+
+def ensure_positive(value: float, name: str) -> float:
+    """Return ``value`` as float, requiring it to be strictly positive.
+
+    Raises:
+        ConfigurationError: if the value is not a positive real number.
+    """
+    if not isinstance(value, numbers.Real) or not np.isfinite(value) or value <= 0:
+        raise ConfigurationError(f"{name} must be a positive finite number, got {value!r}")
+    return float(value)
+
+
+def ensure_in_range(value: float, name: str, low: float, high: float) -> float:
+    """Return ``value`` as float, requiring ``low <= value <= high``.
+
+    Raises:
+        ConfigurationError: if the value lies outside the closed interval.
+    """
+    if not isinstance(value, numbers.Real) or not np.isfinite(value):
+        raise ConfigurationError(f"{name} must be a finite number, got {value!r}")
+    if value < low or value > high:
+        raise ConfigurationError(f"{name} must be in [{low}, {high}], got {value}")
+    return float(value)

@@ -1,0 +1,66 @@
+"""Imperceptible-embedding tests (section 8 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.audio.imperceptible import embed_imperceptible
+from repro.audio.music import music_like
+from repro.audio.pesq import pesq_like
+from repro.audio.speech import speech_like
+from repro.data.bits import random_bits
+from repro.data.fsk import BinaryFskModem
+from repro.errors import ConfigurationError
+
+FS = 48_000.0
+
+
+@pytest.fixture(scope="module")
+def program():
+    return speech_like(2.0, FS, rng=3, amplitude=0.9)
+
+
+@pytest.fixture(scope="module")
+def modem():
+    return BinaryFskModem()
+
+
+class TestEmbedding:
+    def test_data_recoverable_at_default_level(self, program, modem):
+        bits = random_bits(150, rng=1)
+        composite = embed_imperceptible(program, modem.modulate(bits), sample_rate=FS)
+        recovered = modem.demodulate(composite, bits.size)
+        assert np.mean(recovered != bits) < 0.05
+
+    def test_perceptually_transparent_over_speech(self, program, modem):
+        bits = random_bits(150, rng=2)
+        composite = embed_imperceptible(program, modem.modulate(bits), sample_rate=FS)
+        assert pesq_like(program, composite, FS) > 3.5
+
+    def test_louder_embedding_is_audible(self, program, modem):
+        bits = random_bits(150, rng=3)
+        quiet = embed_imperceptible(program, modem.modulate(bits), embed_db=-40.0, sample_rate=FS)
+        loud = embed_imperceptible(program, modem.modulate(bits), embed_db=-6.0, sample_rate=FS)
+        assert pesq_like(program, loud, FS) < pesq_like(program, quiet, FS) - 0.5
+
+    def test_music_needs_louder_embedding(self, modem):
+        # Music carries real energy at the tone bins: the transparent
+        # level fails, a louder (audible) level decodes — the documented
+        # trade-off that full psychoacoustic masking would relax.
+        program = music_like(2.0, FS, rng=4, amplitude=0.9)
+        bits = random_bits(150, rng=5)
+        transparent = embed_imperceptible(program, modem.modulate(bits), sample_rate=FS)
+        audible = embed_imperceptible(
+            program, modem.modulate(bits), embed_db=-20.0, sample_rate=FS
+        )
+        ber_transparent = np.mean(modem.demodulate(transparent, bits.size) != bits)
+        ber_audible = np.mean(modem.demodulate(audible, bits.size) != bits)
+        assert ber_audible < 0.05
+        assert ber_audible <= ber_transparent
+
+    def test_rejects_positive_margin(self, program, modem):
+        with pytest.raises(ConfigurationError):
+            embed_imperceptible(program, modem.modulate([1, 0]), embed_db=3.0)
+
+    def test_pads_short_data(self, program, modem):
+        composite = embed_imperceptible(program, modem.modulate([1, 0, 1]), sample_rate=FS)
+        assert composite.size == program.size

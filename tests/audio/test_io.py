@@ -1,0 +1,29 @@
+"""WAV I/O tests."""
+
+import numpy as np
+import pytest
+
+from repro.audio.io import read_wav, write_wav
+from repro.errors import SignalError
+
+
+class TestWavRoundTrip:
+    def test_mono_round_trip(self, tmp_path):
+        x = 0.5 * np.sin(2 * np.pi * 440 * np.arange(4800) / 48_000)
+        path = tmp_path / "tone.wav"
+        write_wav(path, x, 48_000)
+        y, rate = read_wav(path)
+        assert rate == 48_000
+        assert y.size == x.size
+        assert np.max(np.abs(x - y)) < 1e-3
+
+    def test_overdriven_signal_normalized(self, tmp_path):
+        x = 3.0 * np.sin(2 * np.pi * 440 * np.arange(4800) / 48_000)
+        path = tmp_path / "loud.wav"
+        write_wav(path, x, 48_000)
+        y, _ = read_wav(path)
+        assert np.max(np.abs(y)) <= 1.0
+
+    def test_rejects_empty(self, tmp_path):
+        with pytest.raises(SignalError):
+            write_wav(tmp_path / "e.wav", np.array([]), 48_000)

@@ -1,0 +1,51 @@
+"""Audio metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.audio.metrics import rms, segmental_snr_db, snr_db
+from repro.errors import SignalError
+
+FS = 48_000.0
+
+
+class TestRms:
+    def test_unit_cosine(self):
+        x = np.cos(2 * np.pi * 1000 * np.arange(48_000) / FS)
+        assert rms(x) == pytest.approx(np.sqrt(0.5), rel=1e-3)
+
+
+class TestSnrDb:
+    def test_identical_is_high(self):
+        x = np.random.default_rng(0).standard_normal(4800)
+        assert snr_db(x, x) > 100
+
+    def test_scale_invariant(self):
+        x = np.random.default_rng(0).standard_normal(4800)
+        assert snr_db(x, 0.3 * x) > 100
+
+    def test_known_snr(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(48_000)
+        noise = 0.1 * rng.standard_normal(48_000)
+        measured = snr_db(x + noise, x)  # reference = degraded-free proxy
+        assert measured == pytest.approx(20.0, abs=1.5)
+
+    def test_rejects_silent_reference(self):
+        with pytest.raises(SignalError):
+            snr_db(np.zeros(100), np.ones(100))
+
+
+class TestSegmentalSnr:
+    def test_clean_hits_ceiling(self):
+        x = np.random.default_rng(0).standard_normal(48_000)
+        assert segmental_snr_db(x, x, FS) == pytest.approx(35.0)
+
+    def test_noisy_below_clean(self, one_second_speech):
+        x = one_second_speech
+        noisy = x + 0.2 * np.random.default_rng(2).standard_normal(x.size)
+        assert segmental_snr_db(x, noisy, FS) < segmental_snr_db(x, x, FS)
+
+    def test_rejects_all_silence(self):
+        with pytest.raises(SignalError):
+            segmental_snr_db(np.zeros(48_000), np.zeros(48_000), FS)

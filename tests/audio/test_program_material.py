@@ -1,0 +1,71 @@
+"""Program-material generator tests (speech, music, station formats)."""
+
+import numpy as np
+import pytest
+
+from repro.audio.music import PROGRAM_TYPES, music_like, program_material
+from repro.audio.speech import speech_like
+from repro.dsp.spectrum import band_power
+from repro.errors import ConfigurationError
+
+FS = 48_000.0
+
+
+class TestSpeechLike:
+    def test_energy_mostly_below_4khz(self):
+        x = speech_like(2.0, FS, rng=0)
+        low = band_power(x, FS, 100, 4000)
+        high = band_power(x, FS, 8000, 13_000)
+        assert low > 20 * high
+
+    def test_peak_normalized(self):
+        x = speech_like(1.0, FS, rng=1, amplitude=0.7)
+        assert np.max(np.abs(x)) == pytest.approx(0.7, abs=0.01)
+
+    def test_deterministic_with_seed(self):
+        assert np.array_equal(speech_like(0.2, FS, rng=5), speech_like(0.2, FS, rng=5))
+
+    def test_nonstationary_envelope(self):
+        x = speech_like(2.0, FS, rng=2)
+        frames = x[: int(FS) * 2].reshape(-1, 4800)
+        frame_rms = np.sqrt(np.mean(frames**2, axis=1))
+        assert np.std(frame_rms) > 0.2 * np.mean(frame_rms)
+
+
+class TestMusicLike:
+    def test_wider_spectrum_than_speech(self):
+        m = music_like(2.0, FS, rng=0, brightness=1.4)
+        s = speech_like(2.0, FS, rng=0)
+        m_high = band_power(m, FS, 6000, 13_000) / band_power(m, FS, 100, 13_000)
+        s_high = band_power(s, FS, 6000, 13_000) / band_power(s, FS, 100, 13_000)
+        assert m_high > s_high
+
+    def test_brightness_raises_treble(self):
+        dull = music_like(2.0, FS, rng=3, brightness=0.3)
+        bright = music_like(2.0, FS, rng=3, brightness=1.8)
+        ratio_dull = band_power(dull, FS, 8000, 14_000) / band_power(dull, FS, 100, 14_000)
+        ratio_bright = band_power(bright, FS, 8000, 14_000) / band_power(bright, FS, 100, 14_000)
+        assert ratio_bright > ratio_dull
+
+
+class TestProgramMaterial:
+    @pytest.mark.parametrize("program", PROGRAM_TYPES)
+    def test_returns_equal_length_pair(self, program):
+        left, right = program_material(program, 0.5, FS, rng=1)
+        assert left.size == right.size
+
+    def test_news_is_nearly_mono(self):
+        left, right = program_material("news", 1.0, FS, rng=2)
+        diff_power = np.mean((left - right) ** 2)
+        sum_power = np.mean((left + right) ** 2)
+        assert diff_power < 0.01 * sum_power
+
+    def test_rock_has_stereo_content(self):
+        left, right = program_material("rock", 1.0, FS, rng=2)
+        diff_power = np.mean((left - right) ** 2)
+        sum_power = np.mean((left + right) ** 2)
+        assert diff_power > 0.05 * sum_power
+
+    def test_rejects_unknown_program(self):
+        with pytest.raises(ConfigurationError):
+            program_material("jazz", 0.5, FS)

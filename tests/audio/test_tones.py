@@ -1,0 +1,63 @@
+"""Tone generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.audio.tones import multitone, silence, sweep, tone
+from repro.dsp.spectrum import tone_snr_db
+from repro.errors import ConfigurationError
+
+FS = 48_000.0
+
+
+class TestTone:
+    def test_amplitude(self):
+        x = tone(1000, 0.1, FS, amplitude=0.5)
+        assert np.max(np.abs(x)) == pytest.approx(0.5, abs=0.01)
+
+    def test_frequency(self):
+        x = tone(5000, 1.0, FS)
+        assert tone_snr_db(x, FS, 5000) > 30
+
+    def test_phase_offset(self):
+        x = tone(1000, 0.01, FS, phase_rad=np.pi / 2)
+        assert x[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_above_nyquist(self):
+        with pytest.raises(ConfigurationError):
+            tone(30_000, 0.1, FS)
+
+    def test_length(self):
+        assert tone(1000, 0.25, FS).size == 12_000
+
+
+class TestMultitone:
+    def test_contains_all_tones(self):
+        # Each of three equal tones holds 1/3 of the power, so its SNR
+        # against the other two is -3 dB; require comfortably above the
+        # absent-tone level instead of above 0 dB.
+        x = multitone([1000, 3000, 7000], 1.0, FS)
+        for f in (1000, 3000, 7000):
+            assert tone_snr_db(x, FS, f) > -4.0
+        assert tone_snr_db(x, FS, 5000) < -20.0
+
+    def test_peak_normalized(self):
+        x = multitone([1000, 3000], 0.1, FS, amplitude=0.8)
+        assert np.max(np.abs(x)) == pytest.approx(0.8, abs=0.01)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            multitone([], 0.1, FS)
+
+
+class TestSweep:
+    def test_starts_low_ends_high(self):
+        x = sweep(500, 10_000, 1.0, FS)
+        first = x[: 4800]
+        last = x[-4800:]
+        assert tone_snr_db(np.tile(first, 4), FS, 1000) > tone_snr_db(np.tile(last, 4), FS, 1000)
+
+
+class TestSilence:
+    def test_all_zero(self):
+        assert not np.any(silence(0.1, FS))

@@ -1,0 +1,63 @@
+"""Capacitor-bank DCO quantization tests (paper section 4 hardware)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backscatter.dco import CapacitorBankDco
+from repro.errors import ConfigurationError
+
+
+class TestBank:
+    def test_paper_bank_has_256_levels(self):
+        assert CapacitorBankDco(n_bits=8).n_levels == 256
+
+    def test_step_size(self):
+        dco = CapacitorBankDco(n_bits=8, deviation_hz=75e3)
+        assert dco.frequency_step_hz == pytest.approx(2 * 75e3 / 255)
+
+    def test_rejects_silly_bits(self):
+        with pytest.raises(ConfigurationError):
+            CapacitorBankDco(n_bits=0)
+
+
+class TestQuantization:
+    def test_endpoints_exact(self):
+        dco = CapacitorBankDco(n_bits=4)
+        q = dco.quantize_baseband(np.array([-1.0, 1.0]))
+        assert np.allclose(q, [-1.0, 1.0])
+
+    def test_out_of_range_clips(self):
+        dco = CapacitorBankDco(n_bits=8)
+        q = dco.quantize_baseband(np.array([-2.0, 2.0]))
+        assert np.allclose(q, [-1.0, 1.0])
+
+    def test_idempotent(self):
+        dco = CapacitorBankDco(n_bits=6)
+        x = np.linspace(-1, 1, 101)
+        once = dco.quantize_baseband(x)
+        assert np.allclose(dco.quantize_baseband(once), once)
+
+    @given(st.integers(min_value=2, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_error_bounded_by_half_step(self, n_bits):
+        dco = CapacitorBankDco(n_bits=n_bits)
+        rng = np.random.default_rng(n_bits)
+        x = rng.uniform(-1, 1, size=500)
+        q = dco.quantize_baseband(x)
+        half_step = 1.0 / (dco.n_levels - 1)
+        assert np.max(np.abs(q - x)) <= half_step + 1e-12
+
+    def test_more_bits_better_snr(self):
+        t = np.linspace(0, 1, 48_000)
+        x = 0.8 * np.sin(2 * np.pi * 5 * t)
+        snr4 = CapacitorBankDco(n_bits=4).quantization_snr_db(x)
+        snr8 = CapacitorBankDco(n_bits=8).quantization_snr_db(x)
+        # ~6 dB per bit: 4 extra bits buys roughly 24 dB.
+        assert snr8 - snr4 > 18
+
+    def test_paper_bank_snr_is_high(self):
+        # 8 bits leave quantization noise far below program audio.
+        t = np.linspace(0, 1, 48_000)
+        x = 0.8 * np.sin(2 * np.pi * 5 * t)
+        assert CapacitorBankDco(n_bits=8).quantization_snr_db(x) > 40

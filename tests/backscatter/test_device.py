@@ -1,0 +1,75 @@
+"""Backscatter device mode tests."""
+
+import numpy as np
+import pytest
+
+from repro.audio.tones import tone
+from repro.backscatter.device import BackscatterDevice, BackscatterMode
+from repro.constants import AUDIO_RATE_HZ, MPX_RATE_HZ
+from repro.dsp.spectrum import band_power
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return tone(3000, 0.25, AUDIO_RATE_HZ, amplitude=0.9)
+
+
+class TestOverlay:
+    def test_payload_in_mono_band(self, payload):
+        device = BackscatterDevice(mode=BackscatterMode.OVERLAY)
+        baseband = device.baseband(payload)
+        assert band_power(baseband, MPX_RATE_HZ, 2500, 3500) > 0.1
+        assert band_power(baseband, MPX_RATE_HZ, 30_000, 50_000) < 1e-6
+
+    def test_no_pilot(self, payload):
+        device = BackscatterDevice(mode=BackscatterMode.OVERLAY)
+        baseband = device.baseband(payload)
+        assert band_power(baseband, MPX_RATE_HZ, 18_500, 19_500) < 1e-7
+        assert not device.injects_pilot()
+
+
+class TestStereo:
+    def test_payload_moves_to_stereo_band(self, payload):
+        device = BackscatterDevice(mode=BackscatterMode.STEREO)
+        baseband = device.baseband(payload)
+        # 3 kHz tone DSB-SC on 38 kHz -> sidebands at 35/41 kHz.
+        assert band_power(baseband, MPX_RATE_HZ, 34_000, 42_000) > 0.05
+        assert band_power(baseband, MPX_RATE_HZ, 2500, 3500) < 1e-6
+
+    def test_no_pilot_duplicate(self, payload):
+        device = BackscatterDevice(mode=BackscatterMode.STEREO)
+        baseband = device.baseband(payload)
+        assert band_power(baseband, MPX_RATE_HZ, 18_500, 19_500) < 1e-7
+
+
+class TestMonoToStereo:
+    def test_injects_pilot(self, payload):
+        device = BackscatterDevice(mode=BackscatterMode.MONO_TO_STEREO)
+        baseband = device.baseband(payload)
+        assert band_power(baseband, MPX_RATE_HZ, 18_500, 19_500) > 1e-4
+        assert device.injects_pilot()
+
+    def test_payload_fraction_split(self, payload):
+        # 0.9/0.1 deviation split per the paper's section 3.3.1 equation.
+        device = BackscatterDevice(mode=BackscatterMode.MONO_TO_STEREO)
+        baseband = device.baseband(payload)
+        pilot = band_power(baseband, MPX_RATE_HZ, 18_500, 19_500)
+        stereo = band_power(baseband, MPX_RATE_HZ, 34_000, 42_000)
+        # Pilot is a single tone at 0.1 amplitude (power ~0.005); the
+        # payload spreads 0.9 over two sidebands.
+        assert stereo > pilot
+
+    def test_output_bounded(self, payload):
+        device = BackscatterDevice(mode=BackscatterMode.MONO_TO_STEREO)
+        assert np.max(np.abs(device.baseband(payload))) <= 1.0 + 1e-9
+
+
+class TestValidation:
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ConfigurationError):
+            BackscatterDevice(mode="overlay")
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            BackscatterDevice(payload_fraction=0.0)

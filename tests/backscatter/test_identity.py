@@ -1,0 +1,129 @@
+"""The paper's core claim: square-wave backscatter mixing == audio addition.
+
+These tests exercise the *physical* path — a +/-1 switch waveform
+multiplying the ambient envelope at a wideband rate — and verify that the
+channel at ``fc + fback`` contains an FM signal whose audio is
+``FMaudio + FMback`` (section 3.3), matching the fast composite-MPX path
+used by the experiment harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backscatter.modulator import composite_mpx, subcarrier_envelope
+from repro.backscatter.switch import SquareWaveSwitch, switch_waveform
+from repro.dsp.resample import resample_by_ratio
+from repro.dsp.spectrum import tone_snr_db
+from repro.errors import ConfigurationError
+from repro.fm.demodulator import fm_demodulate
+from repro.fm.modulator import fm_modulate
+
+FS_WIDE = 4_800_000.0
+FS_CHAN = 480_000.0
+FBACK = 600e3
+
+
+def run_physical(amb_tone_hz=1000.0, back_tone_hz=5000.0, duration=0.05):
+    n = int(duration * FS_WIDE)
+    t = np.arange(n) / FS_WIDE
+    amb_mpx = 0.9 * np.cos(2 * np.pi * amb_tone_hz * t)
+    back_mpx = 0.8 * np.cos(2 * np.pi * back_tone_hz * t)
+    amb_iq = fm_modulate(amb_mpx, FS_WIDE)
+    switch = SquareWaveSwitch(fback_hz=FBACK, sample_rate=FS_WIDE)
+    reflected = switch.reflect(amb_iq, back_mpx)
+    chan = switch.downconvert(reflected, output_rate=FS_CHAN)
+    mpx_rx = fm_demodulate(chan, FS_CHAN)
+    return resample_by_ratio(mpx_rx, FS_CHAN, 48_000.0)
+
+
+class TestMultiplicationBecomesAddition:
+    def test_both_audio_components_present(self):
+        audio = run_physical()
+        # Both the ambient 1 kHz and the backscattered 5 kHz appear.
+        assert tone_snr_db(audio, 48_000.0, 1000) > -4
+        assert tone_snr_db(audio, 48_000.0, 5000) > -4
+
+    def test_matches_identity_path(self):
+        audio_physical = run_physical()
+        n = int(0.05 * FS_CHAN)
+        t = np.arange(n) / FS_CHAN
+        comp = composite_mpx(
+            0.9 * np.cos(2 * np.pi * 1000 * t), 0.8 * np.cos(2 * np.pi * 5000 * t)
+        )
+        audio_identity = resample_by_ratio(
+            fm_demodulate(fm_modulate(comp, FS_CHAN), FS_CHAN), FS_CHAN, 48_000.0
+        )
+        m = min(audio_physical.size, audio_identity.size)
+        trim = slice(200, m - 200)
+        corr = np.corrcoef(audio_physical[trim], audio_identity[trim])[0, 1]
+        assert corr > 0.99
+
+
+class TestSwitchWaveform:
+    def test_binary_valued(self):
+        n = 10_000
+        t = np.arange(n) / FS_WIDE
+        wave = switch_waveform(0.5 * np.cos(2 * np.pi * 100 * t), FBACK, FS_WIDE)
+        assert set(np.unique(wave)) <= {-1.0, 1.0}
+
+    # An exact DFT bin whose period is a NON-integer number of samples:
+    # with an integer samples-per-cycle ratio (e.g. exactly 8 at 600 kHz /
+    # 4.8 MHz) the sampled sign() quantizes the duty cycle and biases the
+    # fundamental, which is a sampling artifact, not switch behaviour.
+    _N = 2**16
+    _K = 7747
+    _F_BIN = FS_WIDE * _K / _N
+
+    def test_fundamental_power_is_4_over_pi_squared(self):
+        # The square wave's fundamental amplitude is 4/pi.
+        wave = switch_waveform(np.zeros(self._N), self._F_BIN, FS_WIDE)
+        spectrum = np.fft.rfft(wave) / self._N
+        fundamental_amp = 2 * np.abs(spectrum[self._K])
+        assert fundamental_amp == pytest.approx(4 / np.pi, rel=0.01)
+
+    def test_third_harmonic_at_one_third_amplitude(self):
+        wave = switch_waveform(np.zeros(self._N), self._F_BIN, FS_WIDE)
+        spectrum = np.abs(np.fft.rfft(wave)) / self._N
+        fund = spectrum[self._K]
+        third = spectrum[3 * self._K]
+        assert third == pytest.approx(fund / 3, rel=0.02)
+
+
+class TestSubcarrierEnvelope:
+    def test_amplitude_is_2_over_pi(self):
+        n = 1000
+        env = subcarrier_envelope(np.zeros(n), FBACK, FS_WIDE)
+        assert np.allclose(np.abs(env), 2 / np.pi)
+
+    def test_rejects_fback_above_nyquist(self):
+        with pytest.raises(ConfigurationError):
+            subcarrier_envelope(np.zeros(10), 300e3, 480e3)
+
+
+class TestCompositeMpx:
+    def test_plain_addition_at_equal_deviation(self):
+        a = np.array([0.1, 0.2])
+        b = np.array([0.3, -0.1])
+        assert np.allclose(composite_mpx(a, b), a + b)
+
+    def test_deviation_bookkeeping(self):
+        a = np.array([1.0])
+        b = np.array([1.0])
+        out = composite_mpx(a, b, ambient_deviation_hz=75e3, back_deviation_hz=37.5e3)
+        assert out[0] == pytest.approx(1.5)
+
+    def test_truncates_to_shorter(self):
+        out = composite_mpx(np.zeros(10), np.zeros(7))
+        assert out.size == 7
+
+
+class TestSwitchConfig:
+    def test_rejects_undersampled_rate(self):
+        with pytest.raises(ConfigurationError):
+            SquareWaveSwitch(fback_hz=600e3, sample_rate=1_000_000.0)
+
+    def test_downconvert_rejects_non_integer_ratio(self):
+        switch = SquareWaveSwitch(fback_hz=600e3, sample_rate=FS_WIDE)
+        reflected = np.ones(1000, dtype=complex)
+        with pytest.raises(ConfigurationError):
+            switch.downconvert(reflected, output_rate=70_000.0)

@@ -1,0 +1,69 @@
+"""IC power budget and battery-life tests (paper sections 2 and 4)."""
+
+import pytest
+
+from repro.backscatter.power import (
+    COIN_CELL_CAPACITY_MAH,
+    PowerBudget,
+    battery_life_hours,
+    duty_cycled_power_w,
+    fm_chip_power_w,
+    ic_power_budget,
+)
+from repro.errors import ConfigurationError
+
+
+class TestIcBudget:
+    def test_total_is_11_07_uw(self):
+        assert ic_power_budget().total_uw == pytest.approx(11.07, abs=0.01)
+
+    def test_components_match_paper(self):
+        budget = ic_power_budget()
+        assert budget.baseband_w == pytest.approx(1.0e-6)
+        assert budget.modulator_w == pytest.approx(9.94e-6)
+        assert budget.switch_w == pytest.approx(0.13e-6)
+
+    def test_rejects_negative_component(self):
+        with pytest.raises(ConfigurationError):
+            PowerBudget(baseband_w=-1.0)
+
+
+class TestBatteryLife:
+    def test_fm_chip_dies_within_12_hours(self):
+        hours = battery_life_hours(fm_chip_power_w())
+        assert hours < 12.5
+
+    def test_backscatter_runs_for_years(self):
+        hours = battery_life_hours(ic_power_budget().total_w)
+        years = hours / (24 * 365)
+        # Paper section 2: "could continuously transmit for almost 3 years"
+        assert 2.0 < years < 10.0
+
+    def test_backscatter_vs_fm_chip_ratio(self):
+        ratio = battery_life_hours(ic_power_budget().total_w) / battery_life_hours(
+            fm_chip_power_w()
+        )
+        # 18.8 mA * 3 V vs 11.07 uW: over three orders of magnitude.
+        assert ratio > 1000
+
+    def test_rejects_zero_load(self):
+        with pytest.raises(ConfigurationError):
+            battery_life_hours(0.0)
+
+
+class TestDutyCycling:
+    def test_idle_device_draws_sleep_power(self):
+        assert duty_cycled_power_w(11e-6, 0.0, sleep_power_w=50e-9) == pytest.approx(50e-9)
+
+    def test_always_on_draws_active_power(self):
+        assert duty_cycled_power_w(11e-6, 1.0) == pytest.approx(11e-6)
+
+    def test_motion_triggered_poster_extends_life(self):
+        # Section 8: transmit only when someone approaches (say 5% duty).
+        always = battery_life_hours(duty_cycled_power_w(11.07e-6, 1.0))
+        sometimes = battery_life_hours(duty_cycled_power_w(11.07e-6, 0.05))
+        assert sometimes > 10 * always
+
+    def test_rejects_bad_duty_cycle(self):
+        with pytest.raises(ConfigurationError):
+            duty_cycled_power_w(1e-6, 1.5)

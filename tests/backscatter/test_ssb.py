@@ -1,0 +1,42 @@
+"""Single-sideband backscatter tests (paper footnote 2 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.backscatter.ssb import sideband_rejection_db, ssb_switch_envelope
+from repro.backscatter.switch import switch_waveform
+from repro.errors import ConfigurationError
+
+FS = 4_800_000.0
+FBACK = 600e3
+
+
+class TestSsb:
+    def test_square_wave_has_equal_sidebands(self):
+        n = 2**16
+        wave = switch_waveform(np.zeros(n), FBACK, FS)
+        rejection = sideband_rejection_db(wave, FBACK, FS)
+        assert abs(rejection) < 1.0
+
+    def test_ssb_rejects_mirror(self):
+        n = 2**16
+        env = ssb_switch_envelope(np.zeros(n), FBACK, FS, n_levels=8)
+        assert sideband_rejection_db(env, FBACK, FS) > 20.0
+
+    def test_more_levels_reject_harder(self):
+        n = 2**16
+        r4 = sideband_rejection_db(
+            ssb_switch_envelope(np.zeros(n), FBACK, FS, n_levels=4), FBACK, FS
+        )
+        r16 = sideband_rejection_db(
+            ssb_switch_envelope(np.zeros(n), FBACK, FS, n_levels=16), FBACK, FS
+        )
+        assert r16 > r4
+
+    def test_unit_magnitude(self):
+        env = ssb_switch_envelope(np.zeros(1000), FBACK, FS)
+        assert np.allclose(np.abs(env), 1.0)
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ConfigurationError):
+            ssb_switch_envelope(np.zeros(10), FBACK, FS, n_levels=1)

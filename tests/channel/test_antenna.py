@@ -1,0 +1,44 @@
+"""Antenna model tests."""
+
+import pytest
+
+from repro.channel.antenna import (
+    BOWTIE_POSTER,
+    CAR_WHIP,
+    DIPOLE_POSTER,
+    HEADPHONE_WIRE,
+    MEANDER_SHIRT,
+    Antenna,
+)
+from repro.errors import ConfigurationError
+
+
+class TestAntenna:
+    def test_effective_gain_includes_efficiency(self):
+        ant = Antenna(name="x", gain_dbi=2.0, efficiency=0.5)
+        assert ant.effective_gain_db == pytest.approx(2.0 - 3.01, abs=0.02)
+
+    def test_body_loss_subtracts(self):
+        ant = Antenna(name="x", gain_dbi=0.0, efficiency=1.0, body_loss_db=3.0)
+        assert ant.effective_gain_db == pytest.approx(-3.0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            Antenna(name="x", gain_dbi=0.0, efficiency=0.0)
+
+    def test_rejects_negative_body_loss(self):
+        with pytest.raises(ConfigurationError):
+            Antenna(name="x", gain_dbi=0.0, efficiency=0.5, body_loss_db=-1.0)
+
+
+class TestPrototypes:
+    def test_poster_antennas_beat_fabric(self):
+        assert DIPOLE_POSTER.effective_gain_db > MEANDER_SHIRT.effective_gain_db
+        assert BOWTIE_POSTER.effective_gain_db > MEANDER_SHIRT.effective_gain_db
+
+    def test_car_beats_headphone_wire(self):
+        # Section 5.4's premise: car antennas outperform phone antennas.
+        assert CAR_WHIP.effective_gain_db > HEADPHONE_WIRE.effective_gain_db + 3
+
+    def test_bowtie_wider_band_than_dipole(self):
+        assert BOWTIE_POSTER.bandwidth_mhz > DIPOLE_POSTER.bandwidth_mhz

@@ -1,0 +1,42 @@
+"""Body-motion fading tests."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import MOTION_PROFILES, BodyMotionFading
+from repro.errors import ConfigurationError
+
+
+class TestProfiles:
+    def test_three_paper_states_exist(self):
+        assert set(MOTION_PROFILES) == {"standing", "walking", "running"}
+
+    def test_running_fades_harder_than_standing(self):
+        assert (
+            MOTION_PROFILES["running"].k_factor_db
+            < MOTION_PROFILES["standing"].k_factor_db
+        )
+
+
+class TestEnvelope:
+    def test_unit_mean_square(self):
+        env = BodyMotionFading("walking", rng=0).envelope(48_000, 48_000.0)
+        assert np.mean(env**2) == pytest.approx(1.0, rel=1e-6)
+
+    def test_positive(self):
+        env = BodyMotionFading("running", rng=1).envelope(10_000, 48_000.0)
+        assert np.all(env > 0)
+
+    def test_standing_varies_less_than_running(self):
+        std_s = np.std(BodyMotionFading("standing", rng=2).envelope(96_000, 48_000.0))
+        std_r = np.std(BodyMotionFading("running", rng=2).envelope(96_000, 48_000.0))
+        assert std_r > std_s
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(ConfigurationError):
+            BodyMotionFading("flying")
+
+    def test_deterministic_with_seed(self):
+        a = BodyMotionFading("walking", rng=3).envelope(1000, 48_000.0)
+        b = BodyMotionFading("walking", rng=3).envelope(1000, 48_000.0)
+        assert np.array_equal(a, b)

@@ -1,0 +1,58 @@
+"""Oscillator impairment tests."""
+
+import numpy as np
+import pytest
+
+from repro.channel.impairments import (
+    apply_frequency_drift,
+    apply_frequency_offset,
+    lc_tank_tolerance_hz,
+)
+from repro.errors import ConfigurationError
+from repro.fm.demodulator import fm_demodulate
+from repro.fm.modulator import fm_modulate
+
+FS = 480_000.0
+
+
+class TestFrequencyOffset:
+    def test_offset_shifts_spectrum(self):
+        iq = np.ones(4800, dtype=complex)
+        shifted = apply_frequency_offset(iq, 10_000.0, FS)
+        phase_steps = np.angle(shifted[1:] * np.conj(shifted[:-1]))
+        assert np.allclose(phase_steps * FS / (2 * np.pi), 10_000.0, atol=1.0)
+
+    def test_fm_tolerates_small_offset(self):
+        # A static offset demodulates to a DC term; the audio is intact.
+        mpx = 0.7 * np.sin(2 * np.pi * 2000 * np.arange(48_000) / FS)
+        iq = apply_frequency_offset(fm_modulate(mpx), 1200.0, FS)
+        recovered = fm_demodulate(iq)
+        dc = np.mean(recovered)
+        assert dc == pytest.approx(1200.0 / 75e3, rel=0.05)
+        assert np.max(np.abs((recovered - dc)[10:] - mpx[10:])) < 0.02
+
+    def test_rejects_real_input(self):
+        with pytest.raises(ConfigurationError):
+            apply_frequency_offset(np.ones(10), 100.0, FS)
+
+
+class TestDrift:
+    def test_drift_produces_ramp(self):
+        iq = np.ones(48_000, dtype=complex)
+        drifted = apply_frequency_drift(iq, 10_000.0, FS)  # 10 kHz/s
+        recovered = fm_demodulate(drifted)
+        inst = recovered * 75e3
+        # After 0.1 s the instantaneous frequency is ~1 kHz.
+        assert inst[-1] > inst[4800] > inst[10]
+
+
+class TestTolerance:
+    def test_lc_tank_offset_inside_channel(self):
+        # 2000 ppm of 600 kHz = 1.2 kHz: tiny against 200 kHz channels,
+        # which is why the paper's open-loop oscillator needs no trimming.
+        assert lc_tank_tolerance_hz() == pytest.approx(1200.0)
+        assert lc_tank_tolerance_hz() < 200e3 / 10
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            lc_tank_tolerance_hz(nominal_hz=-1.0)

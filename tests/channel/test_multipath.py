@@ -1,0 +1,50 @@
+"""Multipath channel tests."""
+
+import numpy as np
+import pytest
+
+from repro.channel.multipath import MultipathChannel, two_ray_gain_db
+from repro.errors import ConfigurationError
+
+
+class TestTwoRay:
+    def test_large_distance_approaches_deep_loss(self):
+        # Far beyond the breakpoint the two rays nearly cancel.
+        near = two_ray_gain_db(100.0, 91.5e6)
+        far = two_ray_gain_db(50_000.0, 91.5e6)
+        assert far < near
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            two_ray_gain_db(0.0, 91.5e6)
+
+
+class TestMultipathChannel:
+    def test_single_tap_identity(self):
+        channel = MultipathChannel((0,), (1.0 + 0j,))
+        x = np.exp(1j * np.linspace(0, 10, 100))
+        assert np.allclose(channel.apply(x), x)
+
+    def test_delayed_tap(self):
+        channel = MultipathChannel((0, 3), (1.0 + 0j, 0.5 + 0j))
+        x = np.zeros(10, dtype=complex)
+        x[0] = 1.0
+        y = channel.apply(x)
+        assert y[0] == 1.0
+        assert y[3] == 0.5
+
+    def test_flat_gain_is_tap_sum(self):
+        channel = MultipathChannel((0, 2), (1.0 + 0j, 0.25 - 0.25j))
+        assert channel.flat_gain() == (1.25 - 0.25j)
+
+    def test_random_urban_first_tap_dominant(self):
+        channel = MultipathChannel.random_urban(480_000.0, rng=0)
+        assert abs(channel.gains[0]) >= max(abs(g) for g in channel.gains[1:])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            MultipathChannel((0, 1), (1.0,))
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ConfigurationError):
+            MultipathChannel((-1,), (1.0,))

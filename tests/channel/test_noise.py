@@ -1,0 +1,45 @@
+"""Noise model tests."""
+
+import numpy as np
+import pytest
+
+from repro.channel.noise import awgn, complex_awgn, noise_power_dbm
+
+
+class TestNoisePower:
+    def test_ktb_200khz(self):
+        # kTB for 200 kHz at 290 K is about -120.8 dBm.
+        assert noise_power_dbm(200e3) == pytest.approx(-120.8, abs=0.3)
+
+    def test_noise_figure_adds(self):
+        assert noise_power_dbm(200e3, 10.0) == pytest.approx(
+            noise_power_dbm(200e3) + 10.0
+        )
+
+
+class TestAwgn:
+    def test_target_snr(self, rng):
+        x = np.sin(2 * np.pi * 0.01 * np.arange(100_000))
+        y = awgn(x, 20.0, rng)
+        noise = y - x
+        measured = 10 * np.log10(np.mean(x**2) / np.mean(noise**2))
+        assert measured == pytest.approx(20.0, abs=0.3)
+
+    def test_deterministic_with_seed(self):
+        x = np.ones(100)
+        assert np.array_equal(awgn(x, 10, 42), awgn(x, 10, 42))
+
+
+class TestComplexAwgn:
+    def test_target_snr(self, rng):
+        x = np.exp(1j * 2 * np.pi * 0.01 * np.arange(100_000))
+        y = complex_awgn(x, 15.0, rng)
+        noise = y - x
+        measured = 10 * np.log10(np.mean(np.abs(x) ** 2) / np.mean(np.abs(noise) ** 2))
+        assert measured == pytest.approx(15.0, abs=0.3)
+
+    def test_noise_split_between_i_and_q(self, rng):
+        x = np.ones(200_000, dtype=complex)
+        y = complex_awgn(x, 0.0, rng)
+        noise = y - x
+        assert np.var(noise.real) == pytest.approx(np.var(noise.imag), rel=0.05)

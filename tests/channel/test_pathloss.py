@@ -1,0 +1,71 @@
+"""Path-loss model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.pathloss import (
+    free_space_path_loss_db,
+    friis_received_power_dbm,
+    log_distance_path_loss_db,
+)
+from repro.errors import LinkBudgetError
+
+FM = 91.5e6
+
+
+class TestFreeSpace:
+    def test_known_value(self):
+        # FSPL at 100 m, 91.5 MHz: 20 log10(4 pi 100 / 3.276) ~= 51.7 dB.
+        assert free_space_path_loss_db(100.0, FM) == pytest.approx(51.7, abs=0.2)
+
+    def test_six_db_per_doubling(self):
+        l1 = free_space_path_loss_db(10.0, FM)
+        l2 = free_space_path_loss_db(20.0, FM)
+        assert l2 - l1 == pytest.approx(6.02, abs=0.05)
+
+    def test_near_field_clamped(self):
+        # Below lambda/2pi the far-field formula would predict path gain;
+        # we clamp to the boundary value, 20 log10(2) ~= 6.02 dB.
+        boundary = free_space_path_loss_db(3.276 / (2 * np.pi), FM)
+        assert free_space_path_loss_db(0.01, FM) == pytest.approx(boundary, abs=0.05)
+        assert boundary == pytest.approx(6.02, abs=0.05)
+
+    def test_rejects_nonpositive_distance(self):
+        with pytest.raises(LinkBudgetError):
+            free_space_path_loss_db(0.0, FM)
+
+    @given(st.floats(min_value=1.0, max_value=1e4))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_distance(self, d):
+        assert free_space_path_loss_db(d * 2, FM) > free_space_path_loss_db(d, FM)
+
+
+class TestFriis:
+    def test_gains_add(self):
+        base = friis_received_power_dbm(0.0, 100.0, FM)
+        with_gain = friis_received_power_dbm(0.0, 100.0, FM, tx_gain_dbi=3.0, rx_gain_dbi=2.0)
+        assert with_gain - base == pytest.approx(5.0)
+
+
+class TestLogDistance:
+    def test_reduces_to_free_space_at_reference(self):
+        assert log_distance_path_loss_db(100.0, FM, reference_m=100.0) == pytest.approx(
+            free_space_path_loss_db(100.0, FM)
+        )
+
+    def test_exponent_steepens_slope(self):
+        l_n2 = log_distance_path_loss_db(1000.0, FM, exponent=2.0)
+        l_n35 = log_distance_path_loss_db(1000.0, FM, exponent=3.5)
+        assert l_n35 > l_n2
+
+    def test_shadowing_is_random_but_seeded(self):
+        a = log_distance_path_loss_db(500.0, FM, shadowing_sigma_db=8.0, rng=1)
+        b = log_distance_path_loss_db(500.0, FM, shadowing_sigma_db=8.0, rng=1)
+        c = log_distance_path_loss_db(500.0, FM, shadowing_sigma_db=8.0, rng=2)
+        assert a == b
+        assert a != c
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(LinkBudgetError):
+            log_distance_path_loss_db(100.0, FM, exponent=0.0)

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.audio.speech import speech_like
+from repro.constants import AUDIO_RATE_HZ
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator for stochastic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def short_speech():
+    """Half a second of deterministic speech-like audio (48 kHz)."""
+    return speech_like(0.5, AUDIO_RATE_HZ, rng=7, amplitude=0.9)
+
+
+@pytest.fixture(scope="session")
+def one_second_speech():
+    """One second of deterministic speech-like audio (48 kHz)."""
+    return speech_like(1.0, AUDIO_RATE_HZ, rng=11, amplitude=0.9)

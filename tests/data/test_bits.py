@@ -1,0 +1,62 @@
+"""Bit utility tests with hypothesis round-trip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.bits import (
+    bits_to_bytes,
+    bits_to_symbols,
+    bytes_to_bits,
+    random_bits,
+    symbols_to_bits,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRandomBits:
+    def test_binary_valued(self):
+        bits = random_bits(1000, rng=0)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_roughly_balanced(self):
+        bits = random_bits(10_000, rng=1)
+        assert 0.45 < np.mean(bits) < 0.55
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            random_bits(0)
+
+
+class TestBytesBits:
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_msb_first(self):
+        assert np.array_equal(bytes_to_bits(b"\x80"), [1, 0, 0, 0, 0, 0, 0, 0])
+
+    def test_rejects_partial_byte(self):
+        with pytest.raises(ConfigurationError):
+            bits_to_bytes(np.array([1, 0, 1]))
+
+
+class TestSymbols:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=64),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_with_padding(self, bits, bps):
+        symbols = bits_to_symbols(np.array(bits), bps)
+        recovered = symbols_to_bits(symbols, bps)
+        assert np.array_equal(recovered[: len(bits)], bits)
+
+    def test_msb_first_grouping(self):
+        symbols = bits_to_symbols(np.array([1, 0, 1, 1]), 2)
+        assert np.array_equal(symbols, [2, 3])
+
+    def test_rejects_out_of_range_symbol(self):
+        with pytest.raises(ConfigurationError):
+            symbols_to_bits(np.array([4]), 2)

@@ -1,0 +1,57 @@
+"""Frame codec tests."""
+
+import numpy as np
+import pytest
+
+from repro.channel.noise import awgn
+from repro.data.fdm import FdmFskModem
+from repro.data.framing import FrameCodec
+from repro.data.fsk import BinaryFskModem
+from repro.errors import ConfigurationError, DemodulationError
+
+
+class TestEncodeDecode:
+    def test_round_trip_bfsk(self):
+        codec = FrameCodec(BinaryFskModem())
+        wave = codec.encode(b"HELLO")
+        result = codec.decode(wave, search=False)
+        assert result.payload == b"HELLO"
+        assert result.preamble_errors == 0
+
+    def test_round_trip_fdm(self):
+        codec = FrameCodec(FdmFskModem(symbol_rate=200))
+        wave = codec.encode(b"FM BACKSCATTER")
+        result = codec.decode(wave, search=False)
+        assert result.payload == b"FM BACKSCATTER"
+
+    def test_search_finds_offset_frame(self):
+        modem = BinaryFskModem()
+        codec = FrameCodec(modem)
+        wave = codec.encode(b"HI")
+        offset = 3 * modem.samples_per_symbol
+        padded = np.concatenate([np.zeros(offset), wave, np.zeros(1000)])
+        result = codec.decode(padded)
+        assert result.payload == b"HI"
+        # Non-coherent FSK tolerates sub-symbol misalignment, so the search
+        # may lock anywhere within roughly half a symbol of the true start.
+        assert abs(result.sample_offset - offset) <= modem.samples_per_symbol // 2
+
+    def test_tolerates_noise(self):
+        codec = FrameCodec(BinaryFskModem())
+        wave = awgn(codec.encode(b"NOISY"), 12.0, rng=0)
+        assert codec.decode(wave, search=False).payload == b"NOISY"
+
+    def test_no_frame_raises(self):
+        codec = FrameCodec(BinaryFskModem())
+        with pytest.raises(DemodulationError):
+            codec.decode(
+                np.random.default_rng(0).standard_normal(48_000), search=False
+            )
+
+    def test_rejects_empty_payload(self):
+        with pytest.raises(ConfigurationError):
+            FrameCodec(BinaryFskModem()).encode(b"")
+
+    def test_frame_bits_accounting(self):
+        codec = FrameCodec(BinaryFskModem())
+        assert codec.frame_bits(b"AB") == 32 + 16 + 16

@@ -1,0 +1,79 @@
+"""Interleaver and CRC-16 tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.coding import hamming74_decode, hamming74_encode
+from repro.data.crc16 import append_crc16, crc16, verify_crc16
+from repro.data.interleave import deinterleave, interleave
+from repro.errors import ConfigurationError
+
+
+class TestInterleave:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=128),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip(self, bits, depth):
+        inter = interleave(np.array(bits), depth)
+        recovered = deinterleave(inter, depth, len(bits))
+        assert np.array_equal(recovered, bits)
+
+    def test_burst_becomes_isolated_errors(self):
+        # A burst of `depth` consecutive errors in the channel lands on
+        # `depth` different rows after deinterleaving.
+        depth = 7
+        bits = np.zeros(49, dtype=int)
+        inter = interleave(bits, depth)
+        inter[10:17] ^= 1  # 7-bit burst
+        recovered = deinterleave(inter, depth, 49)
+        error_positions = np.flatnonzero(recovered)
+        # No two errors within the same 7-bit codeword.
+        codewords = error_positions // 7
+        assert len(set(codewords)) == len(codewords)
+
+    def test_interleaved_hamming_survives_burst(self):
+        data = np.random.default_rng(0).integers(0, 2, size=28)
+        coded = hamming74_encode(data)  # 49 bits
+        sent = interleave(coded, depth=7)
+        sent[20:27] ^= 1  # burst as long as a codeword
+        received = deinterleave(sent, 7, coded.size)
+        decoded = hamming74_decode(received)[: data.size]
+        assert np.array_equal(decoded, data)
+
+    def test_uninterleaved_hamming_fails_same_burst(self):
+        data = np.random.default_rng(0).integers(0, 2, size=28)
+        coded = hamming74_encode(data)
+        coded[20:27] ^= 1  # burst inside one codeword region
+        decoded = hamming74_decode(coded)[: data.size]
+        assert not np.array_equal(decoded, data)
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ConfigurationError):
+            interleave(np.array([1, 0]), 0)
+
+
+class TestCrc16:
+    def test_known_vector(self):
+        # CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+        assert crc16(b"123456789") == 0x29B1
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip(self, payload):
+        assert verify_crc16(append_crc16(payload)) == payload
+
+    @given(st.binary(min_size=1, max_size=32), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=40, deadline=None)
+    def test_detects_single_byte_corruption(self, payload, flip):
+        frame = bytearray(append_crc16(payload))
+        pos = flip % len(frame)
+        frame[pos] ^= 0xFF
+        with pytest.raises(ValueError):
+            verify_crc16(bytes(frame))
+
+    def test_rejects_tiny_frame(self):
+        with pytest.raises(ConfigurationError):
+            verify_crc16(b"ab")

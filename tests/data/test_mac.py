@@ -1,0 +1,43 @@
+"""Slotted-ALOHA MAC tests."""
+
+import pytest
+
+from repro.data.mac import AlohaStats, SlottedAlohaSimulator
+from repro.errors import ConfigurationError
+
+
+class TestAnalytic:
+    def test_optimal_probability(self):
+        assert SlottedAlohaSimulator.optimal_probability(10) == pytest.approx(0.1)
+
+    def test_peak_throughput_approaches_1_over_e(self):
+        sim = SlottedAlohaSimulator(50, 1 / 50)
+        assert sim.expected_throughput() == pytest.approx(1 / 2.718, abs=0.02)
+
+    def test_single_device_always_succeeds_at_p1(self):
+        sim = SlottedAlohaSimulator(1, 1.0)
+        assert sim.expected_throughput() == 1.0
+
+
+class TestSimulation:
+    def test_matches_analytic(self):
+        sim = SlottedAlohaSimulator(10, 0.1)
+        stats = sim.run(200_000, rng=0)
+        assert stats.throughput == pytest.approx(sim.expected_throughput(), abs=0.01)
+
+    def test_counts_are_consistent(self):
+        sim = SlottedAlohaSimulator(5, 0.3)
+        stats = sim.run(10_000, rng=1)
+        assert stats.successes + stats.collisions + stats.idle == stats.n_slots
+
+    def test_overload_collapses_throughput(self):
+        light = SlottedAlohaSimulator(10, 0.1).run(50_000, rng=2).throughput
+        heavy = SlottedAlohaSimulator(10, 0.9).run(50_000, rng=2).throughput
+        assert heavy < light / 5
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            SlottedAlohaSimulator(5, 1.5)
+
+    def test_empty_stats_throughput(self):
+        assert AlohaStats(0, 0, 0, 0).throughput == 0.0

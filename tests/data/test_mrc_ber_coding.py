@@ -1,0 +1,117 @@
+"""MRC, BER accounting, and error-correction coding tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.ber import bit_error_rate, count_bit_errors
+from repro.data.bits import random_bits
+from repro.data.coding import (
+    hamming74_decode,
+    hamming74_encode,
+    repetition_decode,
+    repetition_encode,
+)
+from repro.data.mrc import expected_snr_gain_db, mrc_combine
+from repro.errors import ConfigurationError
+
+
+class TestMrc:
+    def test_combining_raises_snr(self, rng):
+        signal = np.sin(2 * np.pi * 0.01 * np.arange(10_000))
+        receptions = [signal + rng.standard_normal(signal.size) for _ in range(4)]
+
+        def snr(x):
+            noise = x - signal
+            return np.mean(signal**2) / np.mean(noise**2)
+
+        single = snr(receptions[0])
+        combined = snr(mrc_combine(receptions))
+        assert combined > 2.5 * single  # up to 4x for 4 branches
+
+    def test_weighted_combining_prefers_good_branch(self, rng):
+        signal = np.sin(2 * np.pi * 0.01 * np.arange(10_000))
+        good = signal + 0.1 * rng.standard_normal(signal.size)
+        bad = signal + 3.0 * rng.standard_normal(signal.size)
+        equal = mrc_combine([good, bad])
+        weighted = mrc_combine([good, bad], snrs_db=[20.0, -9.5])
+
+        def err(x):
+            return np.mean((x - signal) ** 2)
+
+        assert err(weighted) < err(equal)
+
+    def test_expected_gain(self):
+        assert expected_snr_gain_db(2) == pytest.approx(3.01, abs=0.01)
+        assert expected_snr_gain_db(4) == pytest.approx(6.02, abs=0.01)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            mrc_combine([])
+
+    def test_rejects_mismatched_snrs(self):
+        with pytest.raises(ConfigurationError):
+            mrc_combine([np.ones(10)], snrs_db=[1.0, 2.0])
+
+
+class TestBer:
+    def test_no_errors(self):
+        bits = random_bits(100, rng=0)
+        assert bit_error_rate(bits, bits.copy()) == 0.0
+
+    def test_all_errors(self):
+        bits = random_bits(100, rng=1)
+        assert bit_error_rate(bits, 1 - bits) == 1.0
+
+    def test_missing_tail_counts_as_errors(self):
+        sent = np.array([1, 1, 1, 1])
+        received = np.array([1, 1])
+        assert count_bit_errors(sent, received) == 2
+
+    def test_rejects_empty_sent(self):
+        with pytest.raises(ConfigurationError):
+            count_bit_errors(np.array([]), np.array([1]))
+
+
+class TestHamming:
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=4, max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip(self, bits):
+        coded = hamming74_encode(np.array(bits))
+        decoded = hamming74_decode(coded)
+        assert np.array_equal(decoded[: len(bits)], bits)
+
+    @given(st.integers(min_value=0, max_value=15), st.integers(min_value=0, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_corrects_any_single_error(self, nibble, error_pos):
+        bits = np.array([(nibble >> k) & 1 for k in range(4)])
+        coded = hamming74_encode(bits)
+        coded[error_pos] ^= 1
+        assert np.array_equal(hamming74_decode(coded), bits)
+
+    def test_rate_is_4_over_7(self):
+        assert hamming74_encode(np.zeros(4, dtype=int)).size == 7
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ConfigurationError):
+            hamming74_decode(np.zeros(6, dtype=int))
+
+
+class TestRepetition:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=32),
+        st.sampled_from([1, 3, 5]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip(self, bits, factor):
+        coded = repetition_encode(np.array(bits), factor)
+        assert np.array_equal(repetition_decode(coded, factor), bits)
+
+    def test_majority_corrects_minority_errors(self):
+        coded = repetition_encode(np.array([1, 0]), 3)
+        coded[0] ^= 1  # one of three copies of the first bit
+        assert np.array_equal(repetition_decode(coded, 3), [1, 0])
+
+    def test_rejects_even_factor(self):
+        with pytest.raises(ConfigurationError):
+            repetition_encode(np.array([1]), 2)

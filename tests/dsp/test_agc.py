@@ -1,0 +1,46 @@
+"""AGC tests."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.agc import AutomaticGainControl
+
+FS = 48_000.0
+
+
+class TestStaticGain:
+    def test_drives_toward_target(self):
+        agc = AutomaticGainControl(target_rms=0.25, sample_rate=FS)
+        x = 0.05 * np.random.default_rng(0).standard_normal(4800)
+        assert agc.static_gain(x) == pytest.approx(0.25 / np.std(x), rel=0.05)
+
+    def test_gain_capped(self):
+        agc = AutomaticGainControl(target_rms=0.25, sample_rate=FS, max_gain=10.0)
+        assert agc.static_gain(1e-6 * np.ones(1000)) == 10.0
+
+
+class TestDynamicAgc:
+    def test_output_rms_near_target(self):
+        agc = AutomaticGainControl(
+            target_rms=0.25, attack_seconds=0.01, release_seconds=0.05, sample_rate=FS
+        )
+        x = 0.05 * np.sin(2 * np.pi * 1000 * np.arange(int(FS)) / FS)
+        y = agc.apply(x)
+        tail_rms = np.sqrt(np.mean(y[-4800:] ** 2))
+        assert tail_rms == pytest.approx(0.25, rel=0.3)
+
+    def test_gain_steps_down_on_level_jump(self):
+        agc = AutomaticGainControl(
+            target_rms=0.25, attack_seconds=0.01, release_seconds=10.0, sample_rate=FS
+        )
+        quiet = 0.05 * np.ones(int(0.5 * FS))
+        loud = 0.5 * np.ones(int(0.5 * FS))
+        y = agc.apply(np.concatenate([quiet, loud]))
+        gain_quiet = y[int(0.4 * FS)] / 0.05
+        gain_loud = y[-100] / 0.5
+        assert gain_loud < gain_quiet
+
+    def test_preserves_length(self):
+        agc = AutomaticGainControl(sample_rate=FS)
+        x = np.random.default_rng(1).standard_normal(12_345)
+        assert agc.apply(x).size == 12_345

@@ -1,0 +1,57 @@
+"""Biquad and emphasis-network tests."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.biquad import Biquad, deemphasis_filter, preemphasis_filter
+from repro.errors import ConfigurationError
+
+FS = 48_000.0
+
+
+class TestBiquad:
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ConfigurationError):
+            Biquad(b=(1.0,), a=(2.0,))
+
+    def test_identity_section(self):
+        bq = Biquad(b=(1.0,), a=(1.0,))
+        x = np.random.default_rng(0).standard_normal(100)
+        assert np.allclose(bq.apply(x), x)
+
+    def test_frequency_response_shape(self):
+        bq = deemphasis_filter(FS)
+        h = bq.frequency_response(np.array([100.0, 10_000.0]), FS)
+        assert h.shape == (2,)
+
+
+class TestEmphasis:
+    def test_deemphasis_attenuates_treble(self):
+        bq = deemphasis_filter(FS)
+        h = bq.frequency_response(np.array([100.0, 10_000.0]), FS)
+        assert abs(h[1]) < abs(h[0]) / 3
+
+    def test_deemphasis_corner_frequency(self):
+        # 75 us corner is ~2122 Hz: response there should be ~-3 dB.
+        bq = deemphasis_filter(FS, tau=75e-6)
+        h = bq.frequency_response(np.array([2122.0]), FS)
+        assert 20 * np.log10(abs(h[0])) == pytest.approx(-3.0, abs=0.5)
+
+    def test_preemphasis_boosts_treble(self):
+        bq = preemphasis_filter(FS)
+        h = bq.frequency_response(np.array([100.0, 10_000.0]), FS)
+        assert abs(h[1]) > 3 * abs(h[0])
+
+    def test_round_trip_recovers_audio(self):
+        # Band-limited audio through pre- then de-emphasis is unchanged.
+        rng = np.random.default_rng(1)
+        from repro.dsp.filters import design_lowpass_fir, filter_signal
+
+        x = filter_signal(design_lowpass_fir(8000, FS, 257), rng.standard_normal(9600))
+        y = deemphasis_filter(FS).apply(preemphasis_filter(FS).apply(x))
+        # Ignore the filter warm-up region.
+        assert np.allclose(x[500:-500], y[500:-500], atol=1e-6)
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(ConfigurationError):
+            deemphasis_filter(FS, tau=-1.0)

@@ -1,0 +1,33 @@
+"""Analytic-signal helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.hilbert import analytic_signal, envelope, hilbert_transform
+
+FS = 48_000.0
+
+
+class TestAnalyticSignal:
+    def test_cosine_becomes_exponential(self):
+        t = np.arange(4800) / FS
+        x = np.cos(2 * np.pi * 1000 * t)
+        z = analytic_signal(x)
+        mid = slice(500, 4300)
+        assert np.allclose(np.abs(z[mid]), 1.0, atol=0.01)
+
+    def test_hilbert_of_cos_is_sin(self):
+        t = np.arange(4800) / FS
+        x = np.cos(2 * np.pi * 1000 * t)
+        h = hilbert_transform(x)
+        expected = np.sin(2 * np.pi * 1000 * t)
+        mid = slice(500, 4300)
+        assert np.allclose(h[mid], expected[mid], atol=0.02)
+
+    def test_envelope_of_am(self):
+        t = np.arange(9600) / FS
+        am = (1 + 0.5 * np.cos(2 * np.pi * 100 * t)) * np.cos(2 * np.pi * 5000 * t)
+        env = envelope(am)
+        expected = 1 + 0.5 * np.cos(2 * np.pi * 100 * t)
+        mid = slice(1000, 8600)
+        assert np.allclose(env[mid], expected[mid], atol=0.05)

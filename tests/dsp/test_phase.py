@@ -1,0 +1,37 @@
+"""Phase integration tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp.phase import frequency_to_phase, phase_to_frequency
+
+FS = 480_000.0
+
+
+class TestFrequencyToPhase:
+    def test_constant_frequency_linear_phase(self):
+        freq = np.full(1000, 1000.0)
+        phase = frequency_to_phase(freq, FS)
+        steps = np.diff(phase)
+        assert np.allclose(steps, 2 * np.pi * 1000 / FS)
+
+    def test_zero_frequency_constant_phase(self):
+        phase = frequency_to_phase(np.zeros(100), FS)
+        assert np.allclose(np.diff(phase), 0.0)
+
+
+class TestRoundTrip:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_constant_round_trip(self, f):
+        freq = np.full(500, float(f))
+        recovered = phase_to_frequency(frequency_to_phase(freq, FS), FS)
+        assert np.allclose(recovered, f, atol=1e-6)
+
+    def test_varying_round_trip(self):
+        rng = np.random.default_rng(0)
+        freq = 1000 + 100 * rng.standard_normal(2000)
+        recovered = phase_to_frequency(frequency_to_phase(freq, FS), FS)
+        # First sample is extrapolated; rest must match.
+        assert np.allclose(recovered[1:], freq[1:], atol=1e-6)

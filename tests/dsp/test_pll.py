@@ -1,0 +1,67 @@
+"""PLL tests: lock, tracking, harmonics."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.pll import PhaseLockedLoop
+from repro.errors import ConfigurationError
+
+FS = 96_000.0
+
+
+class TestLock:
+    def test_locks_to_exact_tone(self):
+        t = np.arange(int(0.5 * FS)) / FS
+        x = 0.1 * np.cos(2 * np.pi * 19_000 * t)
+        result = PhaseLockedLoop(19_000, FS).track(x)
+        assert result.locked
+
+    def test_locks_with_frequency_offset(self):
+        t = np.arange(int(1.0 * FS)) / FS
+        x = np.cos(2 * np.pi * 19_010 * t)
+        result = PhaseLockedLoop(19_000, FS, loop_bandwidth_hz=60.0).track(x)
+        assert abs(np.mean(result.frequency_hz[-1000:]) - 19_010) < 5
+
+    def test_amplitude_estimate(self):
+        t = np.arange(int(0.5 * FS)) / FS
+        x = 0.25 * np.cos(2 * np.pi * 19_000 * t)
+        result = PhaseLockedLoop(19_000, FS).track(x)
+        assert result.amplitude == pytest.approx(0.25, rel=0.1)
+
+    def test_does_not_lock_to_silence(self):
+        result = PhaseLockedLoop(19_000, FS).track(1e-9 * np.ones(int(0.2 * FS)))
+        # With no tone present the loop free-runs near center; either way
+        # the amplitude estimate must be essentially zero.
+        assert abs(result.amplitude) < 1e-3
+
+
+class TestReference:
+    def test_reference_tracks_input_phase(self):
+        t = np.arange(int(0.5 * FS)) / FS
+        x = np.cos(2 * np.pi * 19_000 * t + 0.7)
+        result = PhaseLockedLoop(19_000, FS).track(x)
+        ref = result.reference()
+        tail = slice(-2000, None)
+        corr = np.mean(x[tail] * ref[tail]) * 2
+        assert corr == pytest.approx(1.0, abs=0.1)
+
+    def test_harmonic_doubles_frequency(self):
+        t = np.arange(int(0.5 * FS)) / FS
+        x = np.cos(2 * np.pi * 19_000 * t)
+        result = PhaseLockedLoop(19_000, FS).track(x)
+        ref38 = result.reference_harmonic(2)
+        target = np.cos(2 * np.pi * 38_000 * t)
+        tail = slice(-2000, None)
+        assert np.mean(ref38[tail] * target[tail]) * 2 == pytest.approx(1.0, abs=0.15)
+
+    def test_rejects_bad_harmonic(self):
+        t = np.arange(1000) / FS
+        result = PhaseLockedLoop(19_000, FS).track(np.cos(2 * np.pi * 19_000 * t))
+        with pytest.raises(ConfigurationError):
+            result.reference_harmonic(0)
+
+
+class TestConfig:
+    def test_rejects_center_above_nyquist(self):
+        with pytest.raises(ConfigurationError):
+            PhaseLockedLoop(60_000, FS)

@@ -1,0 +1,53 @@
+"""Resampling tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp.resample import resample_by_ratio, resample_poly_exact
+from repro.errors import ConfigurationError
+
+
+class TestResamplePolyExact:
+    def test_identity_when_equal(self):
+        x = np.arange(10.0)
+        assert np.array_equal(resample_poly_exact(x, 3, 3), x)
+
+    def test_upsample_length(self):
+        x = np.zeros(100)
+        assert resample_poly_exact(x, 10, 1).size == 1000
+
+    def test_downsample_length(self):
+        x = np.zeros(1000)
+        assert resample_poly_exact(x, 1, 10).size == 100
+
+    def test_tone_preserved_through_round_trip(self):
+        fs = 48_000
+        t = np.arange(4800) / fs
+        x = np.cos(2 * np.pi * 1000 * t)
+        y = resample_poly_exact(resample_poly_exact(x, 10, 1), 1, 10)
+        mid = slice(500, 4300)
+        assert np.corrcoef(x[mid], y[mid])[0, 1] > 0.999
+
+    def test_rejects_bad_factors(self):
+        with pytest.raises(ConfigurationError):
+            resample_poly_exact(np.zeros(10), 0, 1)
+        with pytest.raises(ConfigurationError):
+            resample_poly_exact(np.zeros(10), 1.5, 1)
+
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=1, max_value=12))
+    @settings(max_examples=25, deadline=None)
+    def test_output_length_property(self, up, down):
+        x = np.zeros(240)
+        out = resample_poly_exact(x, up, down)
+        assert out.size == int(np.ceil(240 * up / down))
+
+
+class TestResampleByRatio:
+    def test_audio_to_mpx_rates(self):
+        x = np.zeros(480)
+        assert resample_by_ratio(x, 48_000, 480_000).size == 4800
+
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(ConfigurationError):
+            resample_by_ratio(np.zeros(10), 0, 48_000)

@@ -1,0 +1,53 @@
+"""Spectral estimation tests."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.spectrum import band_power, power_spectrum, tone_snr_db
+from repro.errors import ConfigurationError
+
+FS = 48_000.0
+
+
+class TestPowerSpectrum:
+    def test_peak_at_tone(self):
+        x = np.cos(2 * np.pi * 5000 * np.arange(48_000) / FS)
+        freqs, psd = power_spectrum(x, FS)
+        assert abs(freqs[np.argmax(psd)] - 5000) < 50
+
+    def test_short_signal_clips_nperseg(self):
+        freqs, psd = power_spectrum(np.ones(100), FS, nperseg=4096)
+        assert freqs.size > 0
+
+
+class TestBandPower:
+    def test_total_power_of_tone(self):
+        # A unit cosine carries power 1/2.
+        x = np.cos(2 * np.pi * 5000 * np.arange(96_000) / FS)
+        assert band_power(x, FS, 4000, 6000) == pytest.approx(0.5, rel=0.05)
+
+    def test_out_of_band_is_small(self):
+        x = np.cos(2 * np.pi * 5000 * np.arange(96_000) / FS)
+        assert band_power(x, FS, 10_000, 12_000) < 1e-6
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(ConfigurationError):
+            band_power(np.ones(100), FS, 6000, 4000)
+
+
+class TestToneSnr:
+    def test_clean_tone_high_snr(self):
+        x = np.cos(2 * np.pi * 5000 * np.arange(96_000) / FS)
+        assert tone_snr_db(x, FS, 5000) > 30
+
+    def test_snr_decreases_with_noise(self):
+        rng = np.random.default_rng(0)
+        t = np.arange(96_000) / FS
+        x = np.cos(2 * np.pi * 5000 * t)
+        clean = tone_snr_db(x, FS, 5000)
+        noisy = tone_snr_db(x + 0.5 * rng.standard_normal(x.size), FS, 5000)
+        assert noisy < clean - 10
+
+    def test_absent_tone_negative_snr(self):
+        rng = np.random.default_rng(1)
+        assert tone_snr_db(rng.standard_normal(96_000), FS, 5000) < 3

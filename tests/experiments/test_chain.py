@@ -1,0 +1,71 @@
+"""End-to-end experiment chain tests — the paper's headline behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.audio.tones import tone
+from repro.backscatter.device import BackscatterMode
+from repro.constants import AUDIO_RATE_HZ
+from repro.data.bits import random_bits
+from repro.data.fsk import BinaryFskModem
+from repro.dsp.spectrum import tone_snr_db
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentChain, measure_data_ber
+
+
+class TestChainConfig:
+    def test_rejects_unknown_receiver(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentChain(receiver_kind="tablet")
+
+    def test_rf_snr_monotone_in_distance(self):
+        snrs = [
+            ExperimentChain(power_dbm=-40, distance_ft=d).rf_snr_db()
+            for d in (2, 8, 32)
+        ]
+        assert snrs[0] > snrs[1] > snrs[2]
+
+
+class TestOverlayTransmission:
+    def test_tone_arrives(self):
+        chain = ExperimentChain(
+            program="silence", power_dbm=-30, distance_ft=4, stereo_decode=False
+        )
+        payload = tone(1000, 0.4, AUDIO_RATE_HZ, amplitude=0.9)
+        received = chain.transmit(payload, rng=0)
+        assert tone_snr_db(chain.payload_channel(received), AUDIO_RATE_HZ, 1000) > 20
+
+    def test_100bps_error_free_at_6ft_minus60dbm(self):
+        # Fig. 8a headline: BER ~ 0 at 6 ft across all powers to -60 dBm.
+        chain = ExperimentChain(
+            program="news", power_dbm=-60, distance_ft=6, stereo_decode=False
+        )
+        bits = random_bits(100, rng=1)
+        assert measure_data_ber(chain, BinaryFskModem(), bits, rng=2) < 0.02
+
+    def test_100bps_fails_far_out_at_minus60dbm(self):
+        chain = ExperimentChain(
+            program="news", power_dbm=-60, distance_ft=20, stereo_decode=False
+        )
+        bits = random_bits(100, rng=3)
+        assert measure_data_ber(chain, BinaryFskModem(), bits, rng=4) > 0.1
+
+
+class TestStereoMode:
+    def test_payload_channel_is_difference(self):
+        chain = ExperimentChain(
+            program="silence",
+            station_stereo=False,
+            mode=BackscatterMode.MONO_TO_STEREO,
+            power_dbm=-20,
+            distance_ft=2,
+            stereo_decode=True,
+        )
+        payload = tone(3000, 0.4, AUDIO_RATE_HZ, amplitude=0.9)
+        received = chain.transmit(payload, rng=5)
+        assert received.stereo_locked
+        diff = chain.payload_channel(received)
+        mono = received.mono
+        assert tone_snr_db(diff, AUDIO_RATE_HZ, 3000) > tone_snr_db(
+            mono, AUDIO_RATE_HZ, 3000
+        )

@@ -1,0 +1,62 @@
+"""Determinism and API-surface tests for the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.audio.tones import tone
+from repro.constants import AUDIO_RATE_HZ
+from repro.experiments.common import ExperimentChain
+
+
+class TestDeterminism:
+    def test_same_seed_same_audio(self):
+        payload = tone(1000, 0.3, AUDIO_RATE_HZ, amplitude=0.9)
+        chain = ExperimentChain(program="pop", power_dbm=-40, distance_ft=6, stereo_decode=False)
+        a = chain.transmit(payload, rng=77)
+        b = chain.transmit(payload, rng=77)
+        assert np.array_equal(a.mono, b.mono)
+
+    def test_different_seed_different_noise(self):
+        payload = tone(1000, 0.3, AUDIO_RATE_HZ, amplitude=0.9)
+        chain = ExperimentChain(program="pop", power_dbm=-40, distance_ft=6, stereo_decode=False)
+        a = chain.transmit(payload, rng=77)
+        b = chain.transmit(payload, rng=78)
+        assert not np.array_equal(a.mono, b.mono)
+
+    def test_dco_bits_change_output(self):
+        payload = tone(1000, 0.3, AUDIO_RATE_HZ, amplitude=0.9)
+        ideal = ExperimentChain(program="silence", power_dbm=-20, distance_ft=2, stereo_decode=False)
+        coarse = ExperimentChain(
+            program="silence", power_dbm=-20, distance_ft=2, stereo_decode=False, dco_bits=3
+        )
+        a = ideal.transmit(payload, rng=1)
+        b = coarse.transmit(payload, rng=1)
+        assert not np.allclose(a.mono, b.mono)
+
+
+class TestPublicApi:
+    def test_top_level_packages_import(self):
+        # Every public package imports cleanly and exposes its __all__.
+        import repro.audio
+        import repro.backscatter
+        import repro.channel
+        import repro.data
+        import repro.dsp
+        import repro.fm
+        import repro.fm.rds
+        import repro.receiver
+        import repro.survey
+
+        for module in (
+            repro.audio,
+            repro.backscatter,
+            repro.channel,
+            repro.data,
+            repro.dsp,
+            repro.fm,
+            repro.fm.rds,
+            repro.receiver,
+            repro.survey,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name} missing"

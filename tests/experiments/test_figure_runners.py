@@ -1,0 +1,105 @@
+"""Smoke tests for every figure runner's API contract.
+
+The benchmarks exercise the runners with shape assertions; these tests
+pin the *interface* — keys present, lengths consistent, values in range —
+with the tiniest possible grids so regressions in the experiment API
+surface in the unit tier.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig02_survey,
+    fig04_occupancy,
+    fig05_stereo_usage,
+    fig06_freq_response,
+    fig07_snr_distance,
+    fig08_ber_overlay,
+    fig09_mrc,
+    fig10_stereo_ber,
+    fig11_pesq_overlay,
+    fig13_pesq_stereo,
+    fig14_car,
+    fig17_fabric,
+)
+
+
+class TestSurveyRunners:
+    def test_fig02_keys(self):
+        result = fig02_survey.run(rng=1)
+        assert {"median_dbm", "diurnal_std_db", "n_cells"} <= set(result)
+        assert result["n_cells"] == len(result["powers_dbm"])
+
+    def test_fig04_city_keys(self):
+        result = fig04_occupancy.run(rng=1)
+        assert {"SFO", "Seattle", "Boston", "Chicago", "LA"} <= set(result)
+        for city in ("SFO", "Seattle"):
+            assert len(result[city]["min_shifts_khz"]) == result[city]["detectable"]
+
+    def test_fig05_all_programs(self):
+        result = fig05_stereo_usage.run(n_snapshots=1, snapshot_seconds=0.5, rng=1)
+        assert set(result) == {"news", "mixed", "pop", "rock"}
+
+
+class TestLinkRunners:
+    def test_fig06_lengths(self):
+        result = fig06_freq_response.run(freqs_hz=(1000,), duration_s=0.3, rng=1)
+        assert len(result["mono_snr_db"]) == len(result["freq_hz"]) == 1
+        assert len(result["stereo_snr_db"]) == 1
+
+    def test_fig07_series_per_power(self):
+        result = fig07_snr_distance.run(
+            powers_dbm=(-30.0,), distances_ft=(2, 8), duration_s=0.3, rng=1
+        )
+        assert len(result["P-30"]) == 2
+
+    def test_fig08_rejects_unknown_rate(self):
+        with pytest.raises(Exception):
+            fig08_ber_overlay.make_modem("64kbps")
+
+    def test_fig08_ber_in_unit_interval(self):
+        result = fig08_ber_overlay.run(
+            rate="100bps", powers_dbm=(-30.0,), distances_ft=(4,), n_bits=40, rng=1
+        )
+        assert 0.0 <= result["P-30"][0] <= 1.0
+
+    def test_fig09_factor_keys(self):
+        result = fig09_mrc.run(
+            distances_ft=(4,), mrc_factors=(1, 2), n_bits=160, rng=1
+        )
+        assert {"mrc1", "mrc2"} <= set(result)
+
+    def test_fig10_mode_rate_grid(self):
+        result = fig10_stereo_ber.run(distances_ft=(2,), n_bits=160, rng=1)
+        assert {
+            "overlay_1.6k",
+            "stereo_1.6k",
+            "overlay_3.2k",
+            "stereo_3.2k",
+        } <= set(result)
+
+
+class TestAudioRunners:
+    def test_fig11_scores_in_range(self):
+        result = fig11_pesq_overlay.run(
+            powers_dbm=(-30.0,), distances_ft=(4,), duration_s=1.0, rng=1
+        )
+        assert 1.0 <= result["P-30"][0] <= 4.5
+
+    def test_fig13_rejects_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            fig13_pesq_stereo.run(scenario="surround")
+
+    def test_fig14_both_panels(self):
+        result = fig14_car.run(
+            powers_dbm=(-20.0,), distances_ft=(20,), duration_s=0.5, rng=1
+        )
+        assert "snr_P-20" in result and "pesq_P-20" in result
+
+    def test_fig17_motion_labels(self):
+        result = fig17_fabric.run(
+            motions=("standing",), n_bits_low=50, n_bits_high=160, n_trials=1, rng=1
+        )
+        assert result["motions"] == ["standing"]
+        assert len(result["ber_100bps"]) == 1

@@ -1,0 +1,56 @@
+"""RDS physical-layer coding tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, DemodulationError
+from repro.fm.rds.bitstream import (
+    biphase_waveform,
+    bits_from_waveform,
+    differential_decode,
+    differential_encode,
+)
+
+
+class TestDifferentialCoding:
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip(self, bits):
+        encoded = differential_encode(bits)
+        decoded = differential_decode(encoded)
+        assert np.array_equal(decoded, bits)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_polarity_inversion_only_hurts_first_bit(self, bits):
+        encoded = differential_encode(bits)
+        decoded_flipped = differential_decode(1 - np.asarray(encoded))
+        assert np.array_equal(decoded_flipped[1:], np.asarray(bits)[1:])
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ConfigurationError):
+            differential_encode([0, 2, 1])
+
+
+class TestBiphase:
+    def test_waveform_round_trip(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=104)
+        wave = biphase_waveform(bits, sample_rate=480_000)
+        recovered = bits_from_waveform(wave, 104, sample_rate=480_000)
+        assert np.array_equal(recovered, bits)
+
+    def test_unshaped_round_trip(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0])
+        wave = biphase_waveform(bits, sample_rate=480_000, shape=False)
+        assert np.array_equal(bits_from_waveform(wave, 8, sample_rate=480_000), bits)
+
+    def test_waveform_bounded(self):
+        bits = np.ones(50, dtype=int)
+        wave = biphase_waveform(bits, sample_rate=480_000)
+        assert np.max(np.abs(wave)) <= 1.0 + 1e-9
+
+    def test_rejects_short_waveform(self):
+        with pytest.raises(DemodulationError):
+            bits_from_waveform(np.zeros(100), 104, sample_rate=480_000)

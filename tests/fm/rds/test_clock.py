@@ -1,0 +1,60 @@
+"""RDS clock-time (group 4A) tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fm.rds.groups import decode_groups, make_group_4a
+
+
+class TestClockGroup:
+    def test_round_trip(self):
+        group = make_group_4a(
+            0x4B0F, mjd=59_000, hour=14, minute=37, utc_offset_half_hours=-16
+        )
+        decoded = decode_groups(
+            [(group.block1, group.block2, group.block3, group.block4)]
+        )
+        clock = decoded["clock"]
+        assert clock == {
+            "mjd": 59_000,
+            "hour": 14,
+            "minute": 37,
+            "utc_offset_half_hours": -16,
+        }
+
+    def test_group_type_is_four(self):
+        assert make_group_4a(1, 50_000, 0, 0).group_type == 4
+
+    def test_positive_offset(self):
+        group = make_group_4a(1, 50_000, 23, 59, utc_offset_half_hours=11)
+        decoded = decode_groups(
+            [(group.block1, group.block2, group.block3, group.block4)]
+        )
+        assert decoded["clock"]["utc_offset_half_hours"] == 11
+
+    def test_mjd_high_bits_survive(self):
+        # MJD needing all 17 bits.
+        group = make_group_4a(1, (1 << 17) - 1, 5, 5)
+        decoded = decode_groups(
+            [(group.block1, group.block2, group.block3, group.block4)]
+        )
+        assert decoded["clock"]["mjd"] == (1 << 17) - 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mjd": 1 << 17},
+            {"hour": 24},
+            {"minute": 60},
+            {"utc_offset_half_hours": 40},
+        ],
+    )
+    def test_rejects_out_of_range(self, kwargs):
+        base = {"mjd": 50_000, "hour": 12, "minute": 30, "utc_offset_half_hours": 0}
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            make_group_4a(1, **base)
+
+    def test_no_clock_key_without_group(self):
+        decoded = decode_groups([])
+        assert decoded["clock"] is None

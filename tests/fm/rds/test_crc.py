@@ -1,0 +1,54 @@
+"""RDS CRC / offset word tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fm.rds.crc import (
+    OFFSET_WORDS,
+    append_checkword,
+    block_information,
+    compute_crc,
+    syndrome,
+    verify_block,
+)
+
+
+class TestCrc:
+    def test_crc_is_10_bits(self):
+        assert 0 <= compute_crc(0xFFFF) < 1024
+
+    def test_rejects_oversized_word(self):
+        with pytest.raises(ConfigurationError):
+            compute_crc(1 << 16)
+
+    def test_linear_property(self):
+        # CRC of XOR equals XOR of CRCs (linear code over GF(2)).
+        a, b = 0x1234, 0xABCD
+        assert compute_crc(a ^ b) == compute_crc(a) ^ compute_crc(b)
+
+
+class TestBlocks:
+    @given(st.integers(min_value=0, max_value=0xFFFF), st.sampled_from(list(OFFSET_WORDS)))
+    @settings(max_examples=50, deadline=None)
+    def test_valid_block_verifies_with_correct_offset(self, info, offset):
+        block = append_checkword(info, offset)
+        assert verify_block(block) == offset
+        assert block_information(block) == info
+
+    @given(st.integers(min_value=0, max_value=0xFFFF), st.integers(min_value=0, max_value=25))
+    @settings(max_examples=50, deadline=None)
+    def test_single_bit_error_detected(self, info, bit):
+        block = append_checkword(info, "A")
+        corrupted = block ^ (1 << bit)
+        assert verify_block(corrupted) != "A"
+
+    def test_offsets_distinguish_positions(self):
+        info = 0x5A5A
+        names = {verify_block(append_checkword(info, name)) for name in OFFSET_WORDS}
+        assert names == set(OFFSET_WORDS)
+
+    def test_syndrome_rejects_oversized(self):
+        with pytest.raises(ConfigurationError):
+            syndrome(1 << 26)

@@ -1,0 +1,62 @@
+"""RDS group construction/parsing tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fm.rds.groups import (
+    decode_groups,
+    groups_for_program,
+    make_group_0a,
+    make_group_2a,
+)
+
+
+class TestGroup0A:
+    def test_round_trip_ps_name(self):
+        groups = [make_group_0a(0xABCD, "KEXP FM", seg) for seg in range(4)]
+        decoded = decode_groups([(g.block1, g.block2, g.block3, g.block4) for g in groups])
+        assert decoded["pi_code"] == 0xABCD
+        assert decoded["ps_name"] == "KEXP FM"
+
+    def test_group_type_is_zero(self):
+        assert make_group_0a(1, "TEST", 0).group_type == 0
+
+    def test_rejects_bad_segment(self):
+        with pytest.raises(ConfigurationError):
+            make_group_0a(1, "TEST", 4)
+
+    def test_rejects_non_ascii(self):
+        # Segment 1 carries characters 2-3 ("fé"), where the accent lives.
+        with pytest.raises(ConfigurationError):
+            make_group_0a(1, "café", 1)
+
+
+class TestGroup2A:
+    def test_round_trip_radiotext(self):
+        text = "NOW PLAYING: SIMPLY THREE"
+        n_segments = (len(text) + 3) // 4
+        groups = [make_group_2a(0x1001, text, seg) for seg in range(n_segments)]
+        decoded = decode_groups([(g.block1, g.block2, g.block3, g.block4) for g in groups])
+        assert decoded["radiotext"] == text
+
+    def test_group_type_is_two(self):
+        assert make_group_2a(1, "HELLO", 0).group_type == 2
+
+    def test_rejects_bad_segment(self):
+        with pytest.raises(ConfigurationError):
+            make_group_2a(1, "X", 16)
+
+
+class TestSchedule:
+    def test_program_schedule_covers_everything(self):
+        groups = groups_for_program(0x2222, "KUOW", "LOCAL NEWS AT NOON")
+        decoded = decode_groups([(g.block1, g.block2, g.block3, g.block4) for g in groups])
+        assert decoded["ps_name"] == "KUOW"
+        assert decoded["radiotext"] == "LOCAL NEWS AT NOON"
+
+    def test_partial_reception_fills_partially(self):
+        groups = groups_for_program(0x2222, "KUOWFM88")
+        # Drop half the groups: PS name has holes but no crash.
+        kept = groups[::2]
+        decoded = decode_groups([(g.block1, g.block2, g.block3, g.block4) for g in kept])
+        assert len(decoded["ps_name"]) <= 8

@@ -1,0 +1,73 @@
+"""FM modulator/demodulator round-trip tests (paper Eq. 1 and section 3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import MPX_RATE_HZ
+from repro.errors import ConfigurationError, SignalError
+from repro.fm.demodulator import fm_demodulate
+from repro.fm.modulator import fm_modulate
+
+FS = MPX_RATE_HZ
+
+
+class TestModulator:
+    def test_constant_envelope(self):
+        mpx = 0.5 * np.sin(2 * np.pi * 1000 * np.arange(48_000) / FS)
+        iq = fm_modulate(mpx)
+        assert np.allclose(np.abs(iq), 1.0)
+
+    def test_dc_input_gives_constant_frequency(self):
+        mpx = 0.5 * np.ones(4800)
+        iq = fm_modulate(mpx, deviation_hz=75_000)
+        phase_steps = np.angle(iq[1:] * np.conj(iq[:-1]))
+        freq = phase_steps * FS / (2 * np.pi)
+        assert np.allclose(freq, 37_500, atol=1.0)
+
+    def test_carrier_offset(self):
+        iq = fm_modulate(np.zeros(4800), carrier_offset_hz=10_000)
+        phase_steps = np.angle(iq[1:] * np.conj(iq[:-1]))
+        assert np.allclose(phase_steps * FS / (2 * np.pi), 10_000, atol=1.0)
+
+    def test_rejects_excess_deviation(self):
+        with pytest.raises(ConfigurationError):
+            fm_modulate(np.zeros(100), sample_rate=FS, deviation_hz=FS)
+
+
+class TestRoundTrip:
+    def test_tone_round_trip(self):
+        mpx = 0.8 * np.sin(2 * np.pi * 5000 * np.arange(96_000) / FS)
+        recovered = fm_demodulate(fm_modulate(mpx))
+        assert np.max(np.abs(recovered[10:] - mpx[10:])) < 0.01
+
+    @given(st.integers(min_value=100, max_value=50_000))
+    @settings(max_examples=15, deadline=None)
+    def test_round_trip_any_tone(self, freq):
+        mpx = 0.7 * np.sin(2 * np.pi * freq * np.arange(24_000) / FS)
+        recovered = fm_demodulate(fm_modulate(mpx))
+        assert np.max(np.abs(recovered[10:] - mpx[10:])) < 0.02
+
+    def test_overdeviation_round_trips(self):
+        # Composite backscatter legitimately exceeds [-1, 1].
+        mpx = 1.6 * np.sin(2 * np.pi * 1000 * np.arange(48_000) / FS)
+        recovered = fm_demodulate(fm_modulate(mpx))
+        assert np.max(np.abs(recovered[10:] - mpx[10:])) < 0.02
+
+
+class TestDemodulator:
+    def test_rejects_real_input(self):
+        with pytest.raises(SignalError):
+            fm_demodulate(np.ones(100))
+
+    def test_rejects_zero_signal(self):
+        with pytest.raises(SignalError):
+            fm_demodulate(np.zeros(100, dtype=complex))
+
+    def test_amplitude_invariance(self):
+        # FM is amplitude-agnostic: a scaled envelope demodulates the same.
+        mpx = 0.5 * np.sin(2 * np.pi * 2000 * np.arange(48_000) / FS)
+        iq = fm_modulate(mpx)
+        a = fm_demodulate(iq)
+        b = fm_demodulate(1e-3 * iq)
+        assert np.allclose(a, b)

@@ -1,0 +1,80 @@
+"""MPX composition/decomposition tests."""
+
+import numpy as np
+import pytest
+
+from repro.audio.tones import tone
+from repro.constants import AUDIO_RATE_HZ, MPX_RATE_HZ
+from repro.dsp.spectrum import band_power
+from repro.errors import ConfigurationError
+from repro.fm.mpx import MpxComponents, compose_mpx, decompose_mpx
+
+FS_A = AUDIO_RATE_HZ
+FS_M = MPX_RATE_HZ
+
+
+class TestComposeMono:
+    def test_mono_has_no_pilot(self):
+        left = tone(1000, 0.25, FS_A, amplitude=0.8)
+        mpx = compose_mpx(MpxComponents(left=left, right=None))
+        pilot = band_power(mpx, FS_M, 18_500, 19_500)
+        audio = band_power(mpx, FS_M, 500, 1500)
+        assert pilot < 0.001 * audio
+
+    def test_force_pilot_adds_pilot_to_mono(self):
+        left = tone(1000, 0.25, FS_A, amplitude=0.8)
+        mpx = compose_mpx(MpxComponents(left=left, right=None, force_pilot=True))
+        assert band_power(mpx, FS_M, 18_500, 19_500) > 1e-4
+
+    def test_bounded(self):
+        left = tone(1000, 0.25, FS_A, amplitude=1.0)
+        right = tone(3000, 0.25, FS_A, amplitude=1.0)
+        mpx = compose_mpx(MpxComponents(left=left, right=right))
+        assert np.max(np.abs(mpx)) <= 1.0 + 1e-9
+
+
+class TestComposeStereo:
+    def test_pilot_present(self):
+        left = tone(1000, 0.25, FS_A, amplitude=0.8)
+        right = tone(3000, 0.25, FS_A, amplitude=0.8)
+        mpx = compose_mpx(MpxComponents(left=left, right=right))
+        assert band_power(mpx, FS_M, 18_500, 19_500) > 1e-4
+
+    def test_stereo_band_energy_for_different_channels(self):
+        left = tone(1000, 0.25, FS_A, amplitude=0.8)
+        right = tone(3000, 0.25, FS_A, amplitude=0.8)
+        mpx = compose_mpx(MpxComponents(left=left, right=right))
+        assert band_power(mpx, FS_M, 23_000, 53_000) > 1e-3
+
+    def test_identical_channels_leave_stereo_band_empty(self):
+        left = tone(1000, 0.25, FS_A, amplitude=0.8)
+        mpx = compose_mpx(MpxComponents(left=left, right=left.copy()))
+        stereo = band_power(mpx, FS_M, 23_000, 53_000)
+        mono = band_power(mpx, FS_M, 500, 1500)
+        assert stereo < 0.01 * mono
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(Exception):
+            compose_mpx(
+                MpxComponents(
+                    left=tone(1000, 0.25, FS_A), right=tone(1000, 0.30, FS_A)
+                )
+            )
+
+    def test_rejects_low_mpx_rate(self):
+        with pytest.raises(ConfigurationError):
+            compose_mpx(
+                MpxComponents(left=tone(1000, 0.1, FS_A), mpx_rate=96_000.0)
+            )
+
+
+class TestDecompose:
+    def test_splits_bands(self):
+        left = tone(1000, 0.25, FS_A, amplitude=0.8)
+        right = tone(3000, 0.25, FS_A, amplitude=0.8)
+        mpx = compose_mpx(MpxComponents(left=left, right=right))
+        parts = decompose_mpx(mpx)
+        assert band_power(parts["mono"], FS_M, 500, 1500) > 1e-3
+        assert band_power(parts["pilot"], FS_M, 18_500, 19_500) > 1e-4
+        # Pilot part should contain almost no mono-band energy.
+        assert band_power(parts["pilot"], FS_M, 500, 1500) < 1e-7

@@ -1,0 +1,63 @@
+"""Pilot detection and stereo decoding tests."""
+
+import numpy as np
+import pytest
+
+from repro.audio.tones import tone
+from repro.constants import AUDIO_RATE_HZ, MPX_RATE_HZ
+from repro.dsp.spectrum import tone_snr_db
+from repro.fm.mpx import MpxComponents, compose_mpx
+from repro.fm.pilot import detect_pilot, pilot_power_ratio_db
+from repro.fm.stereo import decode_stereo
+
+
+def stereo_mpx(left_hz=1000, right_hz=3000, duration=0.5):
+    left = tone(left_hz, duration, AUDIO_RATE_HZ, amplitude=0.8)
+    right = tone(right_hz, duration, AUDIO_RATE_HZ, amplitude=0.8)
+    return compose_mpx(MpxComponents(left=left, right=right))
+
+
+class TestPilotDetection:
+    def test_detects_stereo_pilot(self):
+        assert detect_pilot(stereo_mpx())
+
+    def test_no_pilot_in_mono(self):
+        left = tone(1000, 0.5, AUDIO_RATE_HZ, amplitude=0.8)
+        mpx = compose_mpx(MpxComponents(left=left, right=None))
+        assert not detect_pilot(mpx)
+
+    def test_ratio_orders_correctly(self):
+        mono = compose_mpx(
+            MpxComponents(left=tone(1000, 0.5, AUDIO_RATE_HZ), right=None)
+        )
+        assert pilot_power_ratio_db(stereo_mpx()) > pilot_power_ratio_db(mono) + 10
+
+
+class TestStereoDecode:
+    def test_separates_channels(self):
+        audio = decode_stereo(stereo_mpx())
+        assert audio.stereo_locked
+        # Left channel contains 1 kHz, not 3 kHz; right vice versa.
+        assert tone_snr_db(audio.left, AUDIO_RATE_HZ, 1000) > 20
+        assert tone_snr_db(audio.right, AUDIO_RATE_HZ, 3000) > 20
+        assert tone_snr_db(audio.left, AUDIO_RATE_HZ, 3000) < 10
+
+    def test_mono_fallback_without_pilot(self):
+        left = tone(1000, 0.5, AUDIO_RATE_HZ, amplitude=0.8)
+        mpx = compose_mpx(MpxComponents(left=left, right=None))
+        audio = decode_stereo(mpx)
+        assert not audio.stereo_locked
+        assert np.array_equal(audio.left, audio.right)
+
+    def test_difference_channel_carries_l_minus_r(self):
+        audio = decode_stereo(stereo_mpx())
+        # difference = (L-R)/2 -> contains both tones at equal power, so
+        # each scores ~0 dB against the other; an absent frequency scores
+        # far lower.
+        assert tone_snr_db(audio.difference, AUDIO_RATE_HZ, 1000) > -3
+        assert tone_snr_db(audio.difference, AUDIO_RATE_HZ, 3000) > -3
+        assert tone_snr_db(audio.difference, AUDIO_RATE_HZ, 5000) < -20
+
+    def test_mono_property(self):
+        audio = decode_stereo(stereo_mpx())
+        assert audio.mono.size == audio.left.size

@@ -1,0 +1,51 @@
+"""FMStation wrapper tests."""
+
+import numpy as np
+import pytest
+
+from repro.constants import MPX_RATE_HZ
+from repro.dsp.spectrum import band_power
+from repro.errors import ConfigurationError
+from repro.fm.station import FMStation, StationConfig
+
+
+class TestStationConfig:
+    def test_rejects_unknown_program(self):
+        with pytest.raises(ConfigurationError):
+            StationConfig(program="metal")
+
+    def test_silence_program_allowed(self):
+        assert StationConfig(program="silence").program == "silence"
+
+
+class TestFMStation:
+    def test_transmit_constant_envelope(self):
+        station = FMStation(StationConfig(program="news"), rng=1)
+        iq = station.transmit(0.25)
+        assert np.allclose(np.abs(iq), 1.0)
+
+    def test_silence_station_is_unmodulated(self):
+        station = FMStation(StationConfig(program="silence"), rng=1)
+        iq = station.transmit(0.25)
+        # Unmodulated carrier at complex baseband: constant phasor.
+        assert np.allclose(iq, iq[0])
+
+    def test_stereo_station_has_pilot(self):
+        station = FMStation(StationConfig(program="pop", stereo=True), rng=2)
+        mpx = station.mpx(0.25)
+        assert band_power(mpx, MPX_RATE_HZ, 18_500, 19_500) > 1e-4
+
+    def test_mono_station_has_no_pilot(self):
+        station = FMStation(StationConfig(program="pop", stereo=False), rng=2)
+        mpx = station.mpx(0.25)
+        assert band_power(mpx, MPX_RATE_HZ, 18_500, 19_500) < 1e-6
+
+    def test_transmit_mpx_pair_consistent(self):
+        station = FMStation(StationConfig(program="news"), rng=3)
+        iq, mpx = station.transmit_mpx_pair(0.2)
+        assert iq.size == mpx.size
+
+    def test_deterministic_given_seed(self):
+        a = FMStation(StationConfig(program="rock"), rng=7).mpx(0.2)
+        b = FMStation(StationConfig(program="rock"), rng=7).mpx(0.2)
+        assert np.array_equal(a, b)

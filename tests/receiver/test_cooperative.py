@@ -1,0 +1,66 @@
+"""Cooperative cancellation tests (paper section 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.audio.metrics import snr_db
+from repro.audio.speech import speech_like
+from repro.errors import SynchronizationError
+from repro.experiments.fig12_pesq_cooperative import (
+    PREAMBLE_PILOT_BOOST,
+    PREAMBLE_SECONDS,
+    build_coop_payload,
+)
+from repro.receiver.cooperative import CooperativeReceiver
+
+FS = 48_000
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    ambient = 0.5 * speech_like(2.6, FS, rng=21, pitch_hz=100)
+    payload_speech = speech_like(1.8, FS, rng=3, amplitude=0.9)
+    payload = build_coop_payload(payload_speech)
+    n = payload.size
+    phone1 = 0.45 * ambient[:n] + 0.45 * payload
+    return ambient, payload_speech, phone1, n
+
+
+def receiver():
+    return CooperativeReceiver(
+        preamble_seconds=PREAMBLE_SECONDS, preamble_pilot_boost=PREAMBLE_PILOT_BOOST
+    )
+
+
+class TestCancellation:
+    def test_recovers_payload_with_time_offset(self, scenario):
+        ambient, speech, phone1, n = scenario
+        offset = 3840  # 80 ms
+        phone2 = (0.45 * ambient)[offset:n]
+        result = receiver().cancel(phone1, phone2)
+        m = min(speech.size, result.backscatter_audio.size)
+        assert result.lag_samples == offset
+        assert snr_db(0.85 * speech[:m], result.backscatter_audio[:m]) > 25
+
+    def test_corrects_gain_step(self, scenario):
+        # Emulate the receiver's AGC stepping down when the payload starts.
+        ambient, speech, phone1, n = scenario
+        step_at = int(PREAMBLE_SECONDS * FS)
+        stepped = phone1.copy()
+        stepped[step_at:] *= 0.6
+        phone2 = (0.45 * ambient)[:n]
+        result = receiver().cancel(stepped, phone2)
+        assert result.pilot_gain_ratio == pytest.approx(1 / 0.6, rel=0.1)
+        m = min(speech.size, result.backscatter_audio.size)
+        assert snr_db(0.85 * speech[:m], result.backscatter_audio[:m]) > 20
+
+    def test_amplitude_mismatch_fitted(self, scenario):
+        ambient, speech, phone1, n = scenario
+        phone2 = 2.3 * (0.45 * ambient)[:n]  # phone 2 louder
+        result = receiver().cancel(phone1, phone2)
+        assert result.ambient_scale == pytest.approx(1 / 2.3, rel=0.05)
+
+    def test_rejects_silent_phone2(self, scenario):
+        _, _, phone1, n = scenario
+        with pytest.raises(SynchronizationError):
+            receiver().cancel(phone1, np.zeros(n))

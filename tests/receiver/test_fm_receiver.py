@@ -1,0 +1,55 @@
+"""Generic FM receiver chain tests."""
+
+import numpy as np
+import pytest
+
+from repro.audio.tones import tone
+from repro.constants import AUDIO_RATE_HZ
+from repro.dsp.spectrum import tone_snr_db
+from repro.fm.mpx import MpxComponents, compose_mpx
+from repro.fm.modulator import fm_modulate
+from repro.receiver.fm_receiver import FMReceiver
+
+
+def broadcast_iq(left_hz=1000, right_hz=None, duration=0.5):
+    left = tone(left_hz, duration, AUDIO_RATE_HZ, amplitude=0.8)
+    right = tone(right_hz, duration, AUDIO_RATE_HZ, amplitude=0.8) if right_hz else None
+    return fm_modulate(compose_mpx(MpxComponents(left=left, right=right)))
+
+
+class TestReceive:
+    def test_mono_reception(self):
+        received = FMReceiver().receive(broadcast_iq())
+        assert not received.stereo_locked
+        assert tone_snr_db(received.mono, AUDIO_RATE_HZ, 1000) > 30
+
+    def test_stereo_reception(self):
+        received = FMReceiver().receive(broadcast_iq(1000, 3000))
+        assert received.stereo_locked
+        assert tone_snr_db(received.left, AUDIO_RATE_HZ, 1000) > 20
+        assert tone_snr_db(received.right, AUDIO_RATE_HZ, 3000) > 20
+
+    def test_stereo_incapable_receiver_stays_mono(self):
+        receiver = FMReceiver(stereo_capable=False)
+        received = receiver.receive(broadcast_iq(1000, 3000))
+        assert not received.stereo_locked
+        assert np.array_equal(received.left, received.right)
+
+    def test_audio_cutoff_applies(self):
+        from repro.dsp.spectrum import band_power
+
+        wide = FMReceiver(audio_cutoff_hz=15_000.0).receive(broadcast_iq(9000))
+        narrow = FMReceiver(audio_cutoff_hz=5000.0).receive(broadcast_iq(9000))
+        p_wide = band_power(wide.mono, AUDIO_RATE_HZ, 8500, 9500)
+        p_narrow = band_power(narrow.mono, AUDIO_RATE_HZ, 8500, 9500)
+        assert p_narrow < 1e-4 * p_wide
+
+    def test_mpx_exposed_for_diagnostics(self):
+        received = FMReceiver().receive(broadcast_iq())
+        assert received.mpx.size > 0
+
+    def test_difference_property(self):
+        received = FMReceiver().receive(broadcast_iq(1000, 3000))
+        assert np.allclose(
+            received.difference, 0.5 * (received.left - received.right)
+        )

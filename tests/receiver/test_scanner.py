@@ -1,0 +1,51 @@
+"""Band-scanner tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.receiver.scanner import BandScanner, ChannelObservation
+
+
+def obs(pairs):
+    return [ChannelObservation(channel=c, power_dbm=p) for c, p in pairs]
+
+
+class TestOccupancy:
+    def test_threshold_splits_channels(self):
+        scanner = BandScanner(occupancy_threshold_dbm=-70.0)
+        observations = obs([(10, -40.0), (11, -90.0), (12, -65.0)])
+        assert scanner.occupied_channels(observations) == [10, 12]
+
+    def test_rejects_duplicates(self):
+        scanner = BandScanner()
+        with pytest.raises(ConfigurationError):
+            scanner.occupied_channels(obs([(5, -40.0), (5, -50.0)]))
+
+
+class TestBestChannel:
+    def test_prefers_quietest_free_neighbor(self):
+        scanner = BandScanner(occupancy_threshold_dbm=-70.0)
+        observations = obs(
+            [(48, -95.0), (49, -80.0), (50, -30.0), (51, -88.0), (52, -40.0)]
+        )
+        # Free channels in reach: 48 (-95), 49 (-80), 51 (-88); the
+        # quietest is 48 even though 49/51 are closer.
+        assert scanner.best_backscatter_channel(observations, 50) == 48
+
+    def test_skips_occupied_adjacent(self):
+        scanner = BandScanner(occupancy_threshold_dbm=-70.0)
+        observations = obs([(49, -40.0), (50, -30.0), (51, -50.0), (52, -92.0)])
+        assert scanner.best_backscatter_channel(observations, 50) == 52
+
+    def test_none_when_everything_occupied(self):
+        scanner = BandScanner(occupancy_threshold_dbm=-70.0)
+        observations = obs([(49, -40.0), (50, -30.0), (51, -50.0)])
+        assert scanner.best_backscatter_channel(observations, 50, max_shift_channels=1) is None
+
+    def test_fback_mapping(self):
+        # Three channels away = 600 kHz, the paper's evaluation shift.
+        assert BandScanner.fback_for_channels(50, 53) == pytest.approx(600e3)
+
+    def test_fback_rejects_same_channel(self):
+        with pytest.raises(ConfigurationError):
+            BandScanner.fback_for_channels(50, 50)

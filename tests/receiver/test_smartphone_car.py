@@ -1,0 +1,65 @@
+"""Smartphone and car receiver model tests."""
+
+import numpy as np
+import pytest
+
+from repro.audio.tones import tone
+from repro.constants import AUDIO_RATE_HZ
+from repro.dsp.spectrum import band_power, tone_snr_db
+from repro.fm.mpx import MpxComponents, compose_mpx
+from repro.fm.modulator import fm_modulate
+from repro.receiver.car import CarReceiver
+from repro.receiver.smartphone import SMARTPHONE_AUDIO_CUTOFF_HZ, SmartphoneReceiver
+
+
+def broadcast_iq(freq_hz, duration=0.5):
+    left = tone(freq_hz, duration, AUDIO_RATE_HZ, amplitude=0.8)
+    return fm_modulate(compose_mpx(MpxComponents(left=left, right=None)))
+
+
+class TestSmartphone:
+    def test_passes_midband(self):
+        received = SmartphoneReceiver(rng=0).receive(broadcast_iq(5000))
+        assert tone_snr_db(received.mono, AUDIO_RATE_HZ, 5000) > 25
+
+    def test_fig6_cutoff_kills_14khz(self):
+        # Fig. 6: sharp drop above ~13 kHz. Compare absolute tone power in
+        # the received audio below and above the cliff.
+        rx = SmartphoneReceiver(agc_enabled=False, rng=0)
+        good = rx.receive(broadcast_iq(11_000))
+        bad = rx.receive(broadcast_iq(14_500))
+        p_good = band_power(good.mono, AUDIO_RATE_HZ, 10_500, 11_500)
+        p_bad = band_power(bad.mono, AUDIO_RATE_HZ, 14_000, 15_000)
+        assert p_bad < 1e-3 * p_good
+
+    def test_cutoff_constant_matches_fig6(self):
+        assert SMARTPHONE_AUDIO_CUTOFF_HZ == 13_000.0
+
+    def test_agc_normalizes_level(self):
+        rx = SmartphoneReceiver(agc_enabled=True, rng=0)
+        received = rx.receive(broadcast_iq(5000))
+        assert np.sqrt(np.mean(received.mono**2)) == pytest.approx(0.25, rel=0.4)
+
+    def test_codec_noise_floor_present(self):
+        rx = SmartphoneReceiver(agc_enabled=False, codec_noise_db=-40.0, rng=1)
+        received = rx.receive(broadcast_iq(5000))
+        # Noise must be visible in an empty band.
+        assert band_power(received.mono, AUDIO_RATE_HZ, 9000, 10_000) > 1e-7
+
+
+class TestCar:
+    def test_receives_tone_through_cabin(self):
+        received = CarReceiver(rng=0).receive(broadcast_iq(1000))
+        assert tone_snr_db(received.mono, AUDIO_RATE_HZ, 1000) > 15
+
+    def test_cabin_noise_limits_snr(self):
+        quiet = CarReceiver(cabin_noise_snr_db=50.0, rng=1).receive(broadcast_iq(1000))
+        loud = CarReceiver(cabin_noise_snr_db=10.0, rng=1).receive(broadcast_iq(1000))
+        assert tone_snr_db(quiet.mono, AUDIO_RATE_HZ, 1000) > tone_snr_db(
+            loud.mono, AUDIO_RATE_HZ, 1000
+        )
+
+    def test_acoustic_path_blocks_subsonic(self):
+        # The speaker/microphone chain passes no DC/subsonic content.
+        received = CarReceiver(rng=2).receive(broadcast_iq(1000))
+        assert abs(np.mean(received.mono)) < 0.01

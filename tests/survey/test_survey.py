@@ -1,0 +1,96 @@
+"""Survey-package tests (Figs. 2, 4, 5 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import FM_NUM_CHANNELS
+from repro.errors import ConfigurationError
+from repro.survey.drivetest import CitySurvey, diurnal_power_series
+from repro.survey.occupancy import (
+    min_shift_frequencies_hz,
+    occupancy_summary,
+    unoccupied_channels,
+)
+from repro.survey.stations import CITY_PROFILES, generate_band_plan
+from repro.survey.stereo_usage import stereo_to_noise_ratios_db
+
+
+class TestBandPlan:
+    def test_respects_separation(self):
+        plan = generate_band_plan(40, rng=0, min_separation_channels=2)
+        assert np.min(np.diff(plan)) >= 2
+
+    def test_unique_sorted(self):
+        plan = generate_band_plan(30, rng=1)
+        assert np.array_equal(plan, np.unique(plan))
+
+    def test_rejects_overfull(self):
+        with pytest.raises(ConfigurationError):
+            generate_band_plan(60, min_separation_channels=2)
+
+    def test_city_profiles_match_paper(self):
+        # Fig. 4a encodings: Chicago has more licensed than detectable;
+        # Seattle the other way around.
+        assert CITY_PROFILES["Chicago"].licensed > CITY_PROFILES["Chicago"].detectable
+        assert CITY_PROFILES["Seattle"].detectable > CITY_PROFILES["Seattle"].licensed
+        assert len(CITY_PROFILES) == 5
+
+
+class TestOccupancy:
+    def test_unoccupied_complement(self):
+        occupied = np.array([0, 10, 99])
+        free = unoccupied_channels(occupied)
+        assert free.size == FM_NUM_CHANNELS - 3
+        assert 10 not in free
+
+    def test_min_shift_one_channel_when_neighbor_free(self):
+        shifts = min_shift_frequencies_hz(np.array([50]))
+        assert shifts[0] == 200e3
+
+    def test_dense_cluster_needs_larger_shift(self):
+        # Station 52 in a 50..54 block must shift 3 channels (to 49 or 55... 2 channels).
+        occupied = np.arange(50, 55)
+        shifts = min_shift_frequencies_hz(occupied)
+        middle = shifts[2]  # channel 52
+        assert middle == 3 * 200e3
+
+    def test_summary_median_is_200khz_for_sparse_plans(self):
+        plan = generate_band_plan(40, rng=2, min_separation_channels=2)
+        summary = occupancy_summary(plan)
+        assert summary["median_min_shift_hz"] == 200e3
+
+    def test_rejects_full_band(self):
+        with pytest.raises(ConfigurationError):
+            min_shift_frequencies_hz(np.arange(100))
+
+
+class TestDriveTest:
+    def test_power_range_matches_fig2a(self):
+        result = CitySurvey().run(rng=0)
+        assert -45 < result.median_dbm < -25  # paper: -35.15 dBm median
+        assert np.min(result.powers_dbm) > -70
+        assert np.max(result.powers_dbm) < 0
+
+    def test_cdf_monotone(self):
+        result = CitySurvey().run(rng=1)
+        x, p = result.cdf()
+        assert np.all(np.diff(x) >= 0)
+        assert p[-1] == pytest.approx(1.0)
+
+    def test_diurnal_std_near_paper(self):
+        series = diurnal_power_series(rng=3)
+        assert 0.3 < np.std(series) < 1.4  # paper: 0.7 dB
+
+    def test_diurnal_length(self):
+        assert diurnal_power_series(n_minutes=100, rng=0).size == 100
+
+
+class TestStereoUsage:
+    def test_news_uses_stereo_least(self):
+        news = np.median(stereo_to_noise_ratios_db("news", n_snapshots=4, snapshot_seconds=1.0, rng=0))
+        rock = np.median(stereo_to_noise_ratios_db("rock", n_snapshots=4, snapshot_seconds=1.0, rng=0))
+        assert news < rock - 5
+
+    def test_rejects_unknown_program(self):
+        with pytest.raises(ConfigurationError):
+            stereo_to_noise_ratios_db("opera")

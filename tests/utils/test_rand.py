@@ -1,0 +1,43 @@
+"""RNG plumbing tests."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rand import as_generator, child_generator
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=10)
+        b = as_generator(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+
+
+class TestChildGenerator:
+    def test_children_with_same_keys_match(self):
+        a = child_generator(1, "x", 5).integers(0, 1000, size=5)
+        b = child_generator(1, "x", 5).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_children_with_different_keys_differ(self):
+        a = child_generator(1, "x", 5).integers(0, 1000, size=20)
+        b = child_generator(1, "y", 5).integers(0, 1000, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_shared_parent_advances_state(self):
+        parent = np.random.default_rng(3)
+        a = child_generator(parent, "k").integers(0, 1000, size=10)
+        b = child_generator(parent, "k").integers(0, 1000, size=10)
+        # Same key but the parent advanced: streams should differ.
+        assert not np.array_equal(a, b)

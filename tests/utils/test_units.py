@@ -1,0 +1,88 @@
+"""Unit-conversion tests, including hypothesis round-trip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.units import (
+    db_to_linear,
+    dbm_to_watts,
+    feet_to_meters,
+    linear_to_db,
+    meters_to_feet,
+    power_ratio_db,
+    voltage_ratio_db,
+    watts_to_dbm,
+    wavelength_m,
+)
+
+
+class TestPowerConversions:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_watts_to_dbm_known_value(self):
+        assert watts_to_dbm(1e-3) == pytest.approx(0.0)
+
+    def test_watts_to_dbm_rejects_zero(self):
+        with pytest.raises(ValueError):
+            watts_to_dbm(0.0)
+
+    def test_watts_to_dbm_rejects_negative_array(self):
+        with pytest.raises(ValueError):
+            watts_to_dbm(np.array([1.0, -1.0]))
+
+    @given(st.floats(min_value=-120.0, max_value=80.0))
+    def test_dbm_round_trip(self, dbm):
+        assert watts_to_dbm(dbm_to_watts(dbm)) == pytest.approx(dbm, abs=1e-9)
+
+    def test_array_input_preserves_shape(self):
+        out = dbm_to_watts(np.array([-10.0, 0.0, 10.0]))
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)
+
+
+class TestDbRatios:
+    def test_db_to_linear_3db_doubles(self):
+        assert db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+
+    @given(st.floats(min_value=-60.0, max_value=60.0))
+    def test_db_round_trip(self, db):
+        assert linear_to_db(db_to_linear(db)) == pytest.approx(db, abs=1e-9)
+
+    def test_power_ratio_db(self):
+        assert power_ratio_db(10.0, 1.0) == pytest.approx(10.0)
+
+    def test_voltage_ratio_uses_20log(self):
+        assert voltage_ratio_db(10.0, 1.0) == pytest.approx(20.0)
+
+    def test_voltage_ratio_rejects_zero(self):
+        with pytest.raises(ValueError):
+            voltage_ratio_db(0.0, 1.0)
+
+
+class TestDistanceAndWavelength:
+    def test_feet_round_trip(self):
+        assert meters_to_feet(feet_to_meters(12.0)) == pytest.approx(12.0)
+
+    def test_one_foot_in_meters(self):
+        assert feet_to_meters(1.0) == pytest.approx(0.3048)
+
+    def test_fm_wavelength_about_3m(self):
+        lam = wavelength_m(91.5e6)
+        assert 3.0 < lam < 3.5
+
+    def test_wavelength_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            wavelength_m(0.0)
+
+    @given(st.floats(min_value=1e3, max_value=1e12))
+    def test_wavelength_inverse_relation(self, freq):
+        assert wavelength_m(freq) * freq == pytest.approx(299_792_458.0, rel=1e-9)

@@ -1,0 +1,79 @@
+"""Validation helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SignalError
+from repro.utils.validation import (
+    ensure_1d,
+    ensure_equal_length,
+    ensure_in_range,
+    ensure_positive,
+    ensure_real,
+)
+
+
+class TestEnsure1d:
+    def test_accepts_list(self):
+        out = ensure_1d([1.0, 2.0])
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == float
+
+    def test_preserves_complex(self):
+        out = ensure_1d(np.array([1 + 1j]))
+        assert np.iscomplexobj(out)
+
+    def test_rejects_2d(self):
+        with pytest.raises(SignalError, match="must be 1-D"):
+            ensure_1d(np.zeros((2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(SignalError, match="non-empty"):
+            ensure_1d(np.array([]))
+
+    def test_error_names_argument(self):
+        with pytest.raises(SignalError, match="myarg"):
+            ensure_1d(np.zeros((2, 2)), "myarg")
+
+
+class TestEnsureReal:
+    def test_rejects_complex(self):
+        with pytest.raises(SignalError, match="real"):
+            ensure_real(np.array([1 + 1j]))
+
+    def test_accepts_ints(self):
+        out = ensure_real(np.array([1, 2, 3]))
+        assert out.dtype == float
+
+
+class TestEnsureEqualLength:
+    def test_passes_equal(self):
+        ensure_equal_length(np.zeros(3), np.zeros(3))
+
+    def test_rejects_unequal(self):
+        with pytest.raises(SignalError, match="equal length"):
+            ensure_equal_length(np.zeros(3), np.zeros(4))
+
+
+class TestEnsurePositive:
+    def test_returns_float(self):
+        assert ensure_positive(3, "x") == 3.0
+
+    @pytest.mark.parametrize("bad", [0, -1.0, float("nan"), float("inf"), "5"])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ConfigurationError):
+            ensure_positive(bad, "x")
+
+
+class TestEnsureInRange:
+    def test_accepts_bounds(self):
+        assert ensure_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert ensure_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ConfigurationError):
+            ensure_in_range(1.5, "x", 0.0, 1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            ensure_in_range(float("nan"), "x", 0.0, 1.0)
