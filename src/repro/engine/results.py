@@ -1,0 +1,133 @@
+"""Sweep result tables and the stable series-key formatters.
+
+:class:`SweepResult` is what a :class:`~repro.engine.runner.SweepRunner`
+returns: one value per grid point, in row-major grid order, plus
+execution metadata (cache hits, wall time, worker count). The figure
+modules slice it back into the exact dict shapes their ``run()``
+functions have always returned, via :meth:`SweepResult.series` and the
+:func:`power_key` formatter.
+
+:func:`power_key` replaces the ``f"P{int(power)}"`` pattern the legacy
+loops used, which silently collided for fractional powers
+(``int(-32.5) == int(-32.9) == -32``). It formats integral values
+exactly like the old code (``P-30``) so existing result keys are
+unchanged, while fractional powers stay distinct (``P-32.5``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.scenario import GridPoint, SweepSpec
+
+
+def format_axis_value(value: object) -> str:
+    """Render one axis value for a result key, losslessly.
+
+    Integral floats drop their decimal point (``-30.0`` -> ``"-30"``,
+    matching the legacy ``int(power)`` formatting); fractional values
+    keep enough digits to stay distinct (``-32.5`` -> ``"-32.5"``).
+    """
+    if isinstance(value, (bool, str)):
+        return str(value)
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, (float, np.floating)):
+        as_float = float(value)
+        if as_float == int(as_float):
+            return str(int(as_float))
+        return repr(as_float)
+    return str(value)
+
+
+def power_key(power_dbm: float, prefix: str = "P") -> str:
+    """Stable result key for a power level: ``P-30``, ``P-32.5``, ...
+
+    Args:
+        power_dbm: the power level (the axis value as passed by the user).
+        prefix: key prefix; figures with several panels pass e.g.
+            ``"snr_P"`` / ``"pesq_P"`` / ``"lock_P"``.
+    """
+    return f"{prefix}{format_axis_value(power_dbm)}"
+
+
+@dataclass
+class SweepResult:
+    """Per-point values of one executed sweep, in row-major grid order.
+
+    Attributes:
+        spec: the grid that was executed.
+        points: the grid points, ``spec.points()`` order.
+        values: ``measure``'s return value for each point, same order.
+        elapsed_s: wall-clock execution time of the grid.
+        n_workers: worker threads used (1 == serial).
+        cache_stats: ambient-cache counters for this run (``hits`` /
+            ``misses`` / ``items``), or ``None`` when caching was off.
+        data: the shared dict returned by the scenario's ``prepare``
+            (payload bits, reference audio, ...), for post-grid steps
+            like MRC combining or BER scoring.
+    """
+
+    spec: SweepSpec
+    points: List[GridPoint]
+    values: List[object]
+    elapsed_s: float = 0.0
+    n_workers: int = 1
+    cache_stats: Optional[Dict[str, int]] = None
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Tuple[GridPoint, object]]:
+        return iter(zip(self.points, self.values))
+
+    def value_at(self, **coords: object) -> object:
+        """The value of the single point matching all of ``coords``."""
+        matches = [v for p, v in self if all(p.coords[k] == c for k, c in coords.items())]
+        if len(matches) != 1:
+            raise KeyError(f"{coords} matches {len(matches)} grid points, expected 1")
+        return matches[0]
+
+    def series(self, along: str, **fixed: object) -> List[object]:
+        """Values along one axis with every other axis pinned.
+
+        This is the slice the figure modules plot: e.g.
+        ``series(along="distance_ft", power_dbm=-30.0)`` is the legacy
+        inner-loop list for one power level. Points appear in grid
+        (declaration) order along the axis.
+
+        Args:
+            along: name of the free axis.
+            fixed: ``axis=value`` for the remaining axes; every axis
+                other than ``along`` must be pinned.
+        """
+        free = [n for n in self.spec.names if n != along and n not in fixed]
+        if along not in self.spec.names:
+            raise KeyError(f"no axis named {along!r} (have {self.spec.names})")
+        if free:
+            raise KeyError(f"axes {free} must be fixed to slice along {along!r}")
+        for name, value in fixed.items():
+            axis = self.spec.axis(name)  # KeyError on unknown axis names
+            if value not in axis.values:
+                raise KeyError(
+                    f"{value!r} is not on axis {name!r} (values {axis.values})"
+                )
+        return [
+            v
+            for p, v in self
+            if all(p.coords[k] == c for k, c in fixed.items())
+        ]
+
+    def grid(self) -> np.ndarray:
+        """Values reshaped to the sweep's grid shape (object dtype)."""
+        arr = np.empty(len(self.values), dtype=object)
+        arr[:] = self.values
+        return arr.reshape(self.spec.shape)
+
+    def to_table(self) -> List[Dict[str, object]]:
+        """Flat records — one dict of coords + value per point."""
+        return [dict(p.coords, value=v) for p, v in self]

@@ -1,0 +1,190 @@
+"""Declarative sweep scenarios.
+
+A :class:`Scenario` captures everything a paper-figure experiment used to
+hand-roll in nested for-loops: the parameter grid (:class:`SweepSpec`),
+how each grid point configures the simulation chain, how the per-point
+random stream is derived from the sweep seed, and what to measure. The
+:class:`~repro.engine.runner.SweepRunner` turns the declaration into
+(optionally parallel) execution with ambient caching.
+
+Per-point RNG derivation mirrors the legacy loops exactly: child
+generators are drawn from the sweep generator serially in grid order
+*before* any point executes, so serial and parallel execution produce
+bit-identical results.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One sweep dimension: a name and its ordered values."""
+
+    name: str
+    values: Tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ConfigurationError(f"axis {self.name!r} has no values")
+
+
+class SweepSpec:
+    """An ordered set of axes whose product is the sweep grid.
+
+    Grid points enumerate in row-major order (first axis outermost),
+    matching how the legacy experiment loops nested.
+    """
+
+    def __init__(self, axes: Sequence[Axis]) -> None:
+        if not axes:
+            raise ConfigurationError("a sweep needs at least one axis")
+        names = [axis.name for axis in axes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate axis names in {names}")
+        self.axes: Tuple[Axis, ...] = tuple(axes)
+
+    @classmethod
+    def grid(cls, **axes: Sequence[object]) -> "SweepSpec":
+        """Build a spec from keyword axes, preserving declaration order."""
+        return cls([Axis(name, tuple(values)) for name, values in axes.items()])
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(axis.name for axis in self.axes)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(len(axis.values) for axis in self.axes)
+
+    @property
+    def n_points(self) -> int:
+        n = 1
+        for axis in self.axes:
+            n *= len(axis.values)
+        return n
+
+    def axis(self, name: str) -> Axis:
+        for axis in self.axes:
+            if axis.name == name:
+                return axis
+        raise KeyError(f"no axis named {name!r} (have {self.names})")
+
+    def points(self) -> List["GridPoint"]:
+        """All grid points in row-major order."""
+        combos = itertools.product(*(axis.values for axis in self.axes))
+        return [
+            GridPoint(index=i, coords=dict(zip(self.names, combo)))
+            for i, combo in enumerate(combos)
+        ]
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One cell of the sweep grid.
+
+    Attributes:
+        index: position in row-major grid order.
+        coords: axis name -> value for this cell.
+    """
+
+    index: int
+    coords: Mapping[str, object]
+
+    def __getitem__(self, name: str) -> object:
+        return self.coords[name]
+
+    def get(self, name: str, default: object = None) -> object:
+        return self.coords.get(name, default)
+
+    @property
+    def values(self) -> Tuple[object, ...]:
+        return tuple(self.coords.values())
+
+
+@dataclass
+class PointRun:
+    """Everything a scenario's ``measure`` callable gets for one point.
+
+    Attributes:
+        point: the grid cell being evaluated.
+        rng: the point's private generator (pre-derived, deterministic).
+        data: the shared read-only dict returned by ``Scenario.prepare``.
+        ambient: ambient-station source (cache-backed, or ``None`` when
+            caching is disabled); measures that build their own chains can
+            attach it or derive per-transmission variants via
+            ``ambient.with_variant(...)``.
+        chain: the pre-built :class:`~repro.experiments.common.ExperimentChain`
+            for scenarios that declare ``chain_params`` (``None`` otherwise).
+    """
+
+    point: GridPoint
+    rng: np.random.Generator
+    data: Dict[str, object]
+    ambient: Optional[object] = None
+    chain: Optional[object] = None
+
+
+def _default_rng_keys(scenario: "Scenario", point: GridPoint) -> Tuple[object, ...]:
+    return (scenario.name,) + point.values
+
+
+@dataclass
+class Scenario:
+    """Declarative description of one experiment sweep.
+
+    Attributes:
+        name: scenario label (also the default RNG key prefix).
+        sweep: the parameter grid.
+        measure: per-point measurement, ``measure(run: PointRun) -> value``.
+        prepare: optional setup run once before the grid, receiving the
+            sweep generator; returns the shared ``data`` dict (payload
+            bits, reference audio, ...). Draws from the generator here
+            happen *before* per-point derivation, exactly like the
+            preamble of the legacy loops.
+        base_chain: common :class:`ExperimentChain` kwargs; ``None`` means
+            the scenario does not use runner-built chains.
+        chain_params: per-point chain kwargs merged over ``base_chain``.
+        rng_keys: per-point key tuple fed to
+            :func:`repro.utils.rand.child_generator`; defaults to
+            ``(name, *point.values)``. Figure modules override this to
+            reproduce their legacy derivations.
+        ambient_variant: optional per-point cache-key variant so selected
+            points (e.g. MRC repetitions) get independent ambient program
+            audio instead of sharing one synthesis.
+        cache_ambient: share ambient MPX / modulated carriers across grid
+            points through the runner's cache (the legacy loops
+            resynthesized per point).
+    """
+
+    name: str
+    sweep: SweepSpec
+    measure: Callable[[PointRun], object]
+    prepare: Optional[Callable[[np.random.Generator], Dict[str, object]]] = None
+    base_chain: Optional[Dict[str, object]] = None
+    chain_params: Optional[Callable[[GridPoint], Dict[str, object]]] = None
+    rng_keys: Optional[Callable[[GridPoint], Tuple[object, ...]]] = None
+    ambient_variant: Optional[Callable[[GridPoint], object]] = None
+    cache_ambient: bool = True
+
+    def point_rng_keys(self, point: GridPoint) -> Tuple[object, ...]:
+        if self.rng_keys is not None:
+            return tuple(self.rng_keys(point))
+        return _default_rng_keys(self, point)
+
+    @property
+    def uses_chain(self) -> bool:
+        return self.base_chain is not None or self.chain_params is not None
+
+    def chain_kwargs(self, point: GridPoint) -> Dict[str, object]:
+        kwargs: Dict[str, object] = dict(self.base_chain or {})
+        if self.chain_params is not None:
+            kwargs.update(self.chain_params(point))
+        return kwargs

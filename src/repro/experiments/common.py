@@ -18,6 +18,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.backscatter.dco import CapacitorBankDco
 from repro.backscatter.device import BackscatterDevice, BackscatterMode
 from repro.backscatter.modulator import composite_mpx
 from repro.channel.antenna import Antenna, CAR_WHIP, DIPOLE_POSTER, HEADPHONE_WIRE
@@ -55,6 +56,13 @@ class ExperimentChain:
         dco_bits: when set, quantize the device baseband like the IC's
             binary-weighted capacitor-bank oscillator (section 4; None
             models an ideal continuous oscillator).
+        ambient_source: optional provider of pre-synthesized ambient
+            material (the sweep engine's
+            :class:`~repro.engine.cache.CachedAmbient`). When set,
+            :meth:`transmit` takes its FM-modulated composite from the
+            source — synthesized once per sweep — instead of rebuilding
+            the whole front end per call. The link and receiver stages
+            still draw from the per-call ``rng`` exactly as before.
     """
 
     program: str = "news"
@@ -69,6 +77,7 @@ class ExperimentChain:
     agc: bool = False
     device_antenna: Antenna = field(default_factory=lambda: DIPOLE_POSTER)
     dco_bits: Optional[int] = None
+    ambient_source: object = None
 
     def __post_init__(self) -> None:
         if self.receiver_kind not in ("smartphone", "car"):
@@ -106,6 +115,37 @@ class ExperimentChain:
         """RF SNR of the backscattered channel (link-budget output)."""
         return self._budget().rf_snr_db()
 
+    def front_end_key(self) -> Tuple[object, ...]:
+        """Cache key of everything the transmit front end depends on.
+
+        The ambient program, device baseband, composite MPX and FM
+        modulation are functions of these fields plus the payload — not
+        of power, distance, fading or receiver — so a whole link-budget
+        grid can share one front-end synthesis.
+        """
+        return (
+            self.program,
+            bool(self.station_stereo),
+            self.mode.value,
+            float(self.back_amplitude),
+            self.dco_bits,
+        )
+
+    def device_baseband(self, payload_audio: np.ndarray) -> np.ndarray:
+        """Render the device-side baseband ``FMback`` for one payload."""
+        device = BackscatterDevice(mode=self.mode)
+        back_mpx = self.back_amplitude * device.baseband(payload_audio)
+        if self.dco_bits is not None:
+            back_mpx = CapacitorBankDco(n_bits=self.dco_bits).quantize_baseband(back_mpx)
+        return back_mpx
+
+    def modulate_with_ambient(
+        self, ambient_mpx: np.ndarray, payload_audio: np.ndarray
+    ) -> np.ndarray:
+        """FM-modulated composite of an ambient MPX plus the payload."""
+        comp = composite_mpx(ambient_mpx, self.device_baseband(payload_audio))
+        return fm_modulate(comp, MPX_RATE_HZ)
+
     def transmit(
         self, payload_audio: np.ndarray, rng: RngLike = None
     ) -> ReceivedAudio:
@@ -119,21 +159,18 @@ class ExperimentChain:
         gen = as_generator(rng)
         duration_s = payload_audio.size / AUDIO_RATE_HZ
 
-        station = FMStation(
-            StationConfig(program=self.program, stereo=self.station_stereo),
-            rng=child_generator(gen, "station"),
-        )
-        ambient_mpx = station.mpx(duration_s)
-
-        device = BackscatterDevice(mode=self.mode)
-        back_mpx = self.back_amplitude * device.baseband(payload_audio)
-        if self.dco_bits is not None:
-            from repro.backscatter.dco import CapacitorBankDco
-
-            back_mpx = CapacitorBankDco(n_bits=self.dco_bits).quantize_baseband(back_mpx)
-
-        comp = composite_mpx(ambient_mpx, back_mpx)
-        iq = fm_modulate(comp, MPX_RATE_HZ)
+        # The station child is derived even on the cached path, keeping
+        # the link/receiver draws below identical with and without an
+        # ambient source.
+        station_rng = child_generator(gen, "station")
+        if self.ambient_source is not None:
+            iq = self.ambient_source.modulated_composite(self, payload_audio)
+        else:
+            station = FMStation(
+                StationConfig(program=self.program, stereo=self.station_stereo),
+                rng=station_rng,
+            )
+            iq = self.modulate_with_ambient(station.mpx(duration_s), payload_audio)
 
         link = BackscatterLink(self._budget(), fading=self.fading)
         rx_iq = link.transmit(iq, MPX_RATE_HZ, rng=child_generator(gen, "link"))

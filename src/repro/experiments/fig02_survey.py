@@ -11,8 +11,9 @@ from typing import Dict
 
 import numpy as np
 
+from repro.engine import Scenario, SweepSpec, run_scenario
 from repro.survey.drivetest import CitySurvey, diurnal_power_series
-from repro.utils.rand import RngLike, as_generator, child_generator
+from repro.utils.rand import RngLike
 
 
 def run(rng: RngLike = None) -> Dict[str, object]:
@@ -23,16 +24,28 @@ def run(rng: RngLike = None) -> Dict[str, object]:
         ``max_dbm`` for panel (a), and ``diurnal_dbm`` + ``diurnal_std_db``
         for panel (b).
     """
-    gen = as_generator(rng)
-    survey = CitySurvey()
-    result = survey.run(child_generator(gen, "city"))
-    diurnal = diurnal_power_series(rng=child_generator(gen, "day"))
+
+    def measure(run):
+        if run.point["panel"] == "city":
+            return CitySurvey().run(run.rng)
+        return diurnal_power_series(rng=run.rng)
+
+    scenario = Scenario(
+        name="fig02",
+        sweep=SweepSpec.grid(panel=("city", "day")),
+        rng_keys=lambda p: (p["panel"],),
+        measure=measure,
+        cache_ambient=False,
+    )
+    result = run_scenario(scenario, rng=rng)
+    city = result.value_at(panel="city")
+    diurnal = result.value_at(panel="day")
     return {
-        "powers_dbm": result.powers_dbm.tolist(),
-        "median_dbm": result.median_dbm,
-        "min_dbm": float(np.min(result.powers_dbm)),
-        "max_dbm": float(np.max(result.powers_dbm)),
-        "n_cells": int(result.powers_dbm.size),
+        "powers_dbm": city.powers_dbm.tolist(),
+        "median_dbm": city.median_dbm,
+        "min_dbm": float(np.min(city.powers_dbm)),
+        "max_dbm": float(np.max(city.powers_dbm)),
+        "n_cells": int(city.powers_dbm.size),
         "diurnal_dbm": diurnal.tolist(),
         "diurnal_std_db": float(np.std(diurnal)),
     }

@@ -12,9 +12,10 @@ from typing import Dict
 
 import numpy as np
 
+from repro.engine import Scenario, SweepSpec, run_scenario
 from repro.survey.occupancy import min_shift_frequencies_hz, occupancy_summary
 from repro.survey.stations import CITY_PROFILES, generate_band_plan
-from repro.utils.rand import RngLike, as_generator, child_generator
+from repro.utils.rand import RngLike
 
 
 def run(rng: RngLike = None) -> Dict[str, object]:
@@ -25,10 +26,10 @@ def run(rng: RngLike = None) -> Dict[str, object]:
         ``min_shifts_khz`` (per-station list), plus pooled
         ``median_shift_khz`` and ``max_shift_khz``.
     """
-    gen = as_generator(rng)
-    out: Dict[str, object] = {}
-    pooled = []
-    for name, profile in CITY_PROFILES.items():
+
+    def measure(run):
+        name = run.point["city"]
+        profile = CITY_PROFILES[name]
         # The no-adjacent-channel rule binds co-sited transmitters; in
         # cities where detectable stations (including neighboring cities'
         # signals) exceed the 50-station capacity of strict 2-channel
@@ -36,19 +37,37 @@ def run(rng: RngLike = None) -> Dict[str, object]:
         separation = 2 if 2 * profile.detectable <= 100 else 1
         plan = generate_band_plan(
             profile.detectable,
-            child_generator(gen, "plan", name),
+            run.rng,
             min_separation_channels=separation,
         )
         shifts = min_shift_frequencies_hz(plan)
         summary = occupancy_summary(plan)
-        out[name] = {
+        return {
             "licensed": profile.licensed,
             "detectable": profile.detectable,
             "min_shifts_khz": (shifts / 1e3).tolist(),
             "median_shift_khz": summary["median_min_shift_hz"] / 1e3,
             "max_shift_khz": summary["max_min_shift_hz"] / 1e3,
+            # Raw Hz for the pooled stats below (popped before the city
+            # dict is returned): pooling the kHz lists back through *1e3
+            # would round-trip the floats.
+            "_min_shifts_hz": shifts.tolist(),
         }
-        pooled.extend(shifts.tolist())
+
+    scenario = Scenario(
+        name="fig04",
+        sweep=SweepSpec.grid(city=tuple(CITY_PROFILES)),
+        rng_keys=lambda p: ("plan", p["city"]),
+        measure=measure,
+        cache_ambient=False,
+    )
+    result = run_scenario(scenario, rng=rng)
+
+    out: Dict[str, object] = {}
+    pooled = []
+    for point, value in result:
+        pooled.extend(value.pop("_min_shifts_hz"))
+        out[point["city"]] = value
     pooled_arr = np.asarray(pooled)
     out["median_shift_khz"] = float(np.median(pooled_arr) / 1e3)
     out["max_shift_khz"] = float(np.max(pooled_arr) / 1e3)

@@ -13,8 +13,9 @@ from typing import Dict
 import numpy as np
 
 from repro.audio.music import PROGRAM_TYPES
+from repro.engine import Scenario, SweepSpec, run_scenario
 from repro.survey.stereo_usage import stereo_to_noise_ratios_db
-from repro.utils.rand import RngLike, as_generator, child_generator
+from repro.utils.rand import RngLike
 
 
 def run(
@@ -27,17 +28,25 @@ def run(
     Returns:
         dict keyed by program with the ratio list (dB) and its median.
     """
-    gen = as_generator(rng)
-    out: Dict[str, object] = {}
-    for program in PROGRAM_TYPES:
+
+    def measure(run):
         ratios = stereo_to_noise_ratios_db(
-            program,
+            run.point["program"],
             n_snapshots=n_snapshots,
             snapshot_seconds=snapshot_seconds,
-            rng=child_generator(gen, program),
+            rng=run.rng,
         )
-        out[program] = {
+        return {
             "ratios_db": ratios.tolist(),
             "median_db": float(np.median(ratios)),
         }
-    return out
+
+    scenario = Scenario(
+        name="fig05",
+        sweep=SweepSpec.grid(program=tuple(PROGRAM_TYPES)),
+        rng_keys=lambda p: (p["program"],),
+        measure=measure,
+        cache_ambient=False,
+    )
+    result = run_scenario(scenario, rng=rng)
+    return {point["program"]: value for point, value in result}

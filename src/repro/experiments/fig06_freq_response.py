@@ -10,16 +10,26 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-import numpy as np
-
 from repro.audio.tones import tone
 from repro.backscatter.device import BackscatterMode
 from repro.constants import AUDIO_RATE_HZ
 from repro.dsp.spectrum import tone_snr_db
-from repro.experiments.common import ExperimentChain
-from repro.utils.rand import RngLike, as_generator, child_generator
+from repro.engine import Scenario, SweepSpec, run_scenario
+from repro.utils.rand import RngLike
 
 DEFAULT_FREQS_HZ = (500, 1000, 2000, 4000, 6000, 8000, 10000, 12000, 13000, 14000, 15000)
+
+_BAND_CHAINS = {
+    "mono": {
+        "mode": BackscatterMode.OVERLAY,
+        "stereo_decode": False,
+    },
+    "stereo": {
+        "station_stereo": False,
+        "mode": BackscatterMode.MONO_TO_STEREO,
+        "stereo_decode": True,
+    },
+}
 
 
 def run(
@@ -35,35 +45,29 @@ def run(
         dict with ``freq_hz``, ``mono_snr_db`` and ``stereo_snr_db`` lists
         (the two curves of Fig. 6).
     """
-    gen = as_generator(rng)
-    results: Dict[str, List[float]] = {"freq_hz": [], "mono_snr_db": [], "stereo_snr_db": []}
-    for freq in freqs_hz:
+
+    def measure(run):
+        freq = run.point["freq_hz"]
         payload = tone(freq, duration_s, AUDIO_RATE_HZ, amplitude=0.9)
+        received = run.chain.transmit(payload, run.rng)
+        return tone_snr_db(run.chain.payload_channel(received), AUDIO_RATE_HZ, freq)
 
-        mono_chain = ExperimentChain(
-            program="silence",
-            mode=BackscatterMode.OVERLAY,
-            power_dbm=power_dbm,
-            distance_ft=distance_ft,
-            stereo_decode=False,
-        )
-        received = mono_chain.transmit(payload, child_generator(gen, "mono", freq))
-        mono_snr = tone_snr_db(mono_chain.payload_channel(received), AUDIO_RATE_HZ, freq)
+    scenario = Scenario(
+        name="fig06",
+        sweep=SweepSpec.grid(freq_hz=tuple(freqs_hz), band=("mono", "stereo")),
+        base_chain={
+            "program": "silence",
+            "power_dbm": power_dbm,
+            "distance_ft": distance_ft,
+        },
+        chain_params=lambda p: _BAND_CHAINS[p["band"]],
+        rng_keys=lambda p: (p["band"], p["freq_hz"]),
+        measure=measure,
+    )
+    result = run_scenario(scenario, rng=rng)
 
-        stereo_chain = ExperimentChain(
-            program="silence",
-            station_stereo=False,
-            mode=BackscatterMode.MONO_TO_STEREO,
-            power_dbm=power_dbm,
-            distance_ft=distance_ft,
-            stereo_decode=True,
-        )
-        received = stereo_chain.transmit(payload, child_generator(gen, "stereo", freq))
-        stereo_snr = tone_snr_db(
-            stereo_chain.payload_channel(received), AUDIO_RATE_HZ, freq
-        )
-
-        results["freq_hz"].append(float(freq))
-        results["mono_snr_db"].append(mono_snr)
-        results["stereo_snr_db"].append(stereo_snr)
-    return results
+    return {
+        "freq_hz": [float(f) for f in freqs_hz],
+        "mono_snr_db": result.series(along="freq_hz", band="mono"),
+        "stereo_snr_db": result.series(along="freq_hz", band="stereo"),
+    }

@@ -8,13 +8,13 @@ close range even at -50 dBm.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.audio.tones import tone
 from repro.constants import AUDIO_RATE_HZ
 from repro.dsp.spectrum import tone_snr_db
-from repro.experiments.common import ExperimentChain
-from repro.utils.rand import RngLike, as_generator, child_generator
+from repro.engine import Scenario, SweepSpec, power_key, run_scenario
+from repro.utils.rand import RngLike
 
 DEFAULT_POWERS_DBM = (-20.0, -30.0, -40.0, -50.0, -60.0)
 DEFAULT_DISTANCES_FT = (1, 2, 4, 6, 8, 12, 16, 20)
@@ -34,24 +34,30 @@ def run(
         dict with ``distances_ft`` plus one ``"P<power>"`` key per power
         level mapping to the SNR-vs-distance list.
     """
-    gen = as_generator(rng)
     payload = tone(TONE_HZ, duration_s, AUDIO_RATE_HZ, amplitude=0.9)
+
+    def measure(run):
+        received = run.chain.transmit(payload, run.rng)
+        return tone_snr_db(run.chain.payload_channel(received), AUDIO_RATE_HZ, TONE_HZ)
+
+    scenario = Scenario(
+        name="fig07",
+        sweep=SweepSpec.grid(power_dbm=tuple(powers_dbm), distance_ft=tuple(distances_ft)),
+        base_chain={
+            "program": "silence",
+            "receiver_kind": receiver_kind,
+            "stereo_decode": False,
+        },
+        chain_params=lambda p: {
+            "power_dbm": p["power_dbm"],
+            "distance_ft": p["distance_ft"],
+        },
+        rng_keys=lambda p: ("fig7", p["power_dbm"], p["distance_ft"]),
+        measure=measure,
+    )
+    result = run_scenario(scenario, rng=rng)
+
     results: Dict[str, object] = {"distances_ft": [float(d) for d in distances_ft]}
     for power in powers_dbm:
-        series: List[float] = []
-        for distance in distances_ft:
-            chain = ExperimentChain(
-                program="silence",
-                power_dbm=power,
-                distance_ft=distance,
-                receiver_kind=receiver_kind,
-                stereo_decode=False,
-            )
-            received = chain.transmit(
-                payload, child_generator(gen, "fig7", power, distance)
-            )
-            series.append(
-                tone_snr_db(chain.payload_channel(received), AUDIO_RATE_HZ, TONE_HZ)
-            )
-        results[f"P{int(power)}"] = series
+        results[power_key(power)] = result.series(along="distance_ft", power_dbm=power)
     return results

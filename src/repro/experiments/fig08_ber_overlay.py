@@ -10,16 +10,15 @@ high-frequency energy (rock) interferes more.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
-
-import numpy as np
+from typing import Dict, Optional, Sequence
 
 from repro.data.bits import random_bits
 from repro.data.fdm import FdmFskModem
 from repro.data.fsk import BinaryFskModem
 from repro.errors import ConfigurationError
-from repro.experiments.common import ExperimentChain, measure_data_ber
-from repro.utils.rand import RngLike, as_generator, child_generator
+from repro.engine import Scenario, SweepSpec, power_key, run_scenario
+from repro.experiments.common import measure_data_ber
+from repro.utils.rand import RngLike, child_generator
 
 DEFAULT_POWERS_DBM = (-20.0, -30.0, -40.0, -50.0, -60.0)
 DEFAULT_DISTANCES_FT = (1, 2, 4, 6, 8, 12, 16, 20)
@@ -46,7 +45,7 @@ def run(
     powers_dbm: Sequence[float] = DEFAULT_POWERS_DBM,
     distances_ft: Sequence[float] = DEFAULT_DISTANCES_FT,
     program: str = "news",
-    n_bits: int = None,
+    n_bits: Optional[int] = None,
     rng: RngLike = None,
 ) -> Dict[str, object]:
     """BER sweep for one bit rate (one panel of Fig. 8).
@@ -55,25 +54,29 @@ def run(
         dict with ``distances_ft`` and one BER list per power level
         (keys ``"P<power>"``).
     """
-    gen = as_generator(rng)
     modem = make_modem(rate)
     if n_bits is None:
         n_bits = RATE_CONFIGS[rate]["n_bits"]
-    bits = random_bits(n_bits, child_generator(gen, "payload", rate))
+
+    scenario = Scenario(
+        name="fig08",
+        sweep=SweepSpec.grid(power_dbm=tuple(powers_dbm), distance_ft=tuple(distances_ft)),
+        prepare=lambda gen: {
+            "bits": random_bits(n_bits, child_generator(gen, "payload", rate))
+        },
+        base_chain={"program": program, "stereo_decode": False},
+        chain_params=lambda p: {
+            "power_dbm": p["power_dbm"],
+            "distance_ft": p["distance_ft"],
+        },
+        rng_keys=lambda p: (rate, p["power_dbm"], p["distance_ft"]),
+        measure=lambda run: measure_data_ber(
+            run.chain, modem, run.data["bits"], run.rng
+        ),
+    )
+    result = run_scenario(scenario, rng=rng)
 
     results: Dict[str, object] = {"distances_ft": [float(d) for d in distances_ft]}
     for power in powers_dbm:
-        series: List[float] = []
-        for distance in distances_ft:
-            chain = ExperimentChain(
-                program=program,
-                power_dbm=power,
-                distance_ft=distance,
-                stereo_decode=False,
-            )
-            ber = measure_data_ber(
-                chain, modem, bits, child_generator(gen, rate, power, distance)
-            )
-            series.append(ber)
-        results[f"P{int(power)}"] = series
+        results[power_key(power)] = result.series(along="distance_ft", power_dbm=power)
     return results

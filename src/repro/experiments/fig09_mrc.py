@@ -11,14 +11,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-import numpy as np
-
 from repro.data.ber import bit_error_rate
 from repro.data.bits import random_bits
 from repro.data.fdm import FdmFskModem
 from repro.data.mrc import mrc_combine
-from repro.experiments.common import ExperimentChain
-from repro.utils.rand import RngLike, as_generator, child_generator
+from repro.engine import Scenario, SweepSpec, run_scenario
+from repro.utils.rand import RngLike, child_generator
 
 DEFAULT_DISTANCES_FT = (2, 4, 8, 12, 16, 20)
 DEFAULT_MRC_FACTORS = (1, 2, 3, 4)
@@ -44,30 +42,41 @@ def run(
         dict with ``distances_ft`` and one list per factor (``"mrc1"``,
         ``"mrc2"``, ...). ``mrc1`` is the no-combining baseline.
     """
-    gen = as_generator(rng)
     modem = FdmFskModem(symbol_rate=200)
-    bits = random_bits(n_bits, child_generator(gen, "payload"))
-    waveform = modem.modulate(bits)
     max_factor = max(mrc_factors)
+
+    def prepare(gen):
+        bits = random_bits(n_bits, child_generator(gen, "payload"))
+        return {"bits": bits, "waveform": modem.modulate(bits)}
+
+    # Each repetition must hear *different* program audio (that is what
+    # MRC averages out), so the ambient cache key carries the repetition
+    # index; each of the max_factor ambient variants is synthesized once
+    # and shared across all distances.
+    scenario = Scenario(
+        name="fig09",
+        sweep=SweepSpec.grid(distance_ft=tuple(distances_ft), rep=tuple(range(max_factor))),
+        prepare=prepare,
+        base_chain={
+            "program": program,
+            "power_dbm": power_dbm,
+            "stereo_decode": False,
+            "back_amplitude": back_amplitude,
+        },
+        chain_params=lambda p: {"distance_ft": p["distance_ft"]},
+        rng_keys=lambda p: ("rep", p["distance_ft"], p["rep"]),
+        ambient_variant=lambda p: p["rep"],
+        measure=lambda run: run.chain.payload_channel(
+            run.chain.transmit(run.data["waveform"], run.rng)
+        ),
+    )
+    result = run_scenario(scenario, rng=rng)
+    bits = result.data["bits"]
 
     results: Dict[str, object] = {"distances_ft": [float(d) for d in distances_ft]}
     series: Dict[int, List[float]] = {f: [] for f in mrc_factors}
     for distance in distances_ft:
-        # Each repetition sees freshly drawn program audio and noise; the
-        # payload (and therefore the data waveform) is identical.
-        receptions = []
-        for rep in range(max_factor):
-            chain = ExperimentChain(
-                program=program,
-                power_dbm=power_dbm,
-                distance_ft=distance,
-                stereo_decode=False,
-                back_amplitude=back_amplitude,
-            )
-            received = chain.transmit(
-                waveform, child_generator(gen, "rep", distance, rep)
-            )
-            receptions.append(chain.payload_channel(received))
+        receptions = result.series(along="rep", distance_ft=distance)
         for factor in mrc_factors:
             combined = mrc_combine(receptions[:factor])
             detected = modem.demodulate(combined, bits.size)

@@ -9,13 +9,13 @@ ambient program, not noise), similar at -50 dBm to 12 ft, and collapse at
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.audio.pesq import pesq_like
 from repro.audio.speech import speech_like
 from repro.constants import AUDIO_RATE_HZ
-from repro.experiments.common import ExperimentChain
-from repro.utils.rand import RngLike, as_generator, child_generator
+from repro.engine import Scenario, SweepSpec, power_key, run_scenario
+from repro.utils.rand import RngLike, child_generator
 
 DEFAULT_POWERS_DBM = (-20.0, -30.0, -40.0, -50.0, -60.0)
 DEFAULT_DISTANCES_FT = (1, 4, 8, 12, 16, 20)
@@ -34,27 +34,35 @@ def run(
     Returns:
         dict with ``distances_ft`` and one PESQ list per power level.
     """
-    gen = as_generator(rng)
-    reference = speech_like(
-        duration_s, AUDIO_RATE_HZ, child_generator(gen, "speech"), amplitude=0.9
+
+    def measure(run):
+        reference = run.data["reference"]
+        received = run.chain.transmit(reference, run.rng)
+        return pesq_like(reference, run.chain.payload_channel(received), AUDIO_RATE_HZ)
+
+    scenario = Scenario(
+        name="fig11",
+        sweep=SweepSpec.grid(power_dbm=tuple(powers_dbm), distance_ft=tuple(distances_ft)),
+        prepare=lambda gen: {
+            "reference": speech_like(
+                duration_s, AUDIO_RATE_HZ, child_generator(gen, "speech"), amplitude=0.9
+            )
+        },
+        base_chain={
+            "program": program,
+            "receiver_kind": receiver_kind,
+            "stereo_decode": False,
+        },
+        chain_params=lambda p: {
+            "power_dbm": p["power_dbm"],
+            "distance_ft": p["distance_ft"],
+        },
+        rng_keys=lambda p: ("fig11", p["power_dbm"], p["distance_ft"]),
+        measure=measure,
     )
+    result = run_scenario(scenario, rng=rng)
+
     results: Dict[str, object] = {"distances_ft": [float(d) for d in distances_ft]}
     for power in powers_dbm:
-        series: List[float] = []
-        for distance in distances_ft:
-            chain = ExperimentChain(
-                program=program,
-                power_dbm=power,
-                distance_ft=distance,
-                receiver_kind=receiver_kind,
-                stereo_decode=False,
-            )
-            received = chain.transmit(
-                reference, child_generator(gen, "fig11", power, distance)
-            )
-            score = pesq_like(
-                reference, chain.payload_channel(received), AUDIO_RATE_HZ
-            )
-            series.append(score)
-        results[f"P{int(power)}"] = series
+        results[power_key(power)] = result.series(along="distance_ft", power_dbm=power)
     return results

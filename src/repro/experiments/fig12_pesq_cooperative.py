@@ -9,17 +9,17 @@ the backscattered channel itself drops below the FM threshold.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.audio.pesq import pesq_like
 from repro.audio.speech import speech_like
-from repro.audio.tones import tone
 from repro.backscatter.device import BackscatterDevice, BackscatterMode
 from repro.backscatter.modulator import composite_mpx
 from repro.channel.noise import complex_awgn
 from repro.constants import AUDIO_RATE_HZ, COOP_PILOT_FREQ_HZ, MPX_RATE_HZ
+from repro.engine import CachedAmbient, Scenario, SweepSpec, power_key, run_scenario
 from repro.experiments.common import ExperimentChain
 from repro.fm.modulator import fm_modulate
 from repro.fm.station import FMStation, StationConfig
@@ -65,8 +65,14 @@ def simulate_two_phones(
     program: str = "news",
     phone_offset_seconds: float = 0.08,
     rng: RngLike = None,
+    ambient: Optional[CachedAmbient] = None,
 ):
     """Run the two-phone reception and cooperative cancellation.
+
+    Args:
+        ambient: optional cache-backed ambient source (the sweep engine
+            passes one); when set, the station MPX and both FM-modulated
+            carriers are synthesized once per sweep instead of per point.
 
     Returns:
         ``(recovered_audio, CooperativeResult)`` — the recovered
@@ -76,24 +82,34 @@ def simulate_two_phones(
     payload = build_coop_payload(reference_speech)
     duration_s = payload.size / AUDIO_RATE_HZ
 
-    # Shared ambient program: both phones hear the same station.
-    station = FMStation(
-        StationConfig(program=program, stereo=False), rng=child_generator(gen, "st")
-    )
-    ambient_mpx = station.mpx(duration_s)
-
-    # Phone 1: the backscattered channel at fc + fback.
+    # Phone 1 chain bookkeeping (link budget for the backscatter hop).
     chain = ExperimentChain(
         program=program,
+        station_stereo=False,
         power_dbm=power_dbm,
         distance_ft=distance_ft,
         stereo_decode=False,
         agc=True,
     )
-    device = BackscatterDevice(mode=BackscatterMode.OVERLAY)
-    back_mpx = device.baseband(payload)
-    comp = composite_mpx(ambient_mpx, back_mpx)
-    iq1 = fm_modulate(comp, MPX_RATE_HZ)
+
+    # Shared ambient program: both phones hear the same station. The
+    # station child is derived even on the cached path so the noise and
+    # phone draws below stay aligned with the legacy loop.
+    station_rng = child_generator(gen, "st")
+    if ambient is not None:
+        iq1 = ambient.modulated_composite(chain, payload)
+        iq2_clean = ambient.modulated(program, False, duration_s)
+    else:
+        station = FMStation(
+            StationConfig(program=program, stereo=False), rng=station_rng
+        )
+        ambient_mpx = station.mpx(duration_s)
+        device = BackscatterDevice(mode=BackscatterMode.OVERLAY)
+        comp = composite_mpx(ambient_mpx, device.baseband(payload))
+        iq1 = fm_modulate(comp, MPX_RATE_HZ)
+        iq2_clean = fm_modulate(ambient_mpx, MPX_RATE_HZ)
+
+    # Phone 1: the backscattered channel at fc + fback.
     iq1 = complex_awgn(iq1, chain.rf_snr_db(), child_generator(gen, "n1"))
     phone1 = SmartphoneReceiver(agc_enabled=True, rng=child_generator(gen, "p1"))
     phone1.stereo_capable = False
@@ -101,8 +117,7 @@ def simulate_two_phones(
 
     # Phone 2: the ambient station at fc — a strong direct signal.
     ambient_snr_db = power_dbm - (-95.0)
-    iq2 = fm_modulate(ambient_mpx, MPX_RATE_HZ)
-    iq2 = complex_awgn(iq2, ambient_snr_db, child_generator(gen, "n2"))
+    iq2 = complex_awgn(iq2_clean, ambient_snr_db, child_generator(gen, "n2"))
     phone2 = SmartphoneReceiver(agc_enabled=True, rng=child_generator(gen, "p2"))
     phone2.stereo_capable = False
     audio2 = phone2.receive(iq2).mono
@@ -126,21 +141,33 @@ def run(
     rng: RngLike = None,
 ) -> Dict[str, object]:
     """PESQ sweep over (power, distance) for cooperative backscatter."""
-    gen = as_generator(rng)
-    reference = speech_like(
-        duration_s, AUDIO_RATE_HZ, child_generator(gen, "speech"), amplitude=0.9
+
+    def measure(run):
+        reference = run.data["reference"]
+        recovered, _ = simulate_two_phones(
+            reference,
+            run.point["power_dbm"],
+            run.point["distance_ft"],
+            rng=run.rng,
+            ambient=run.ambient,
+        )
+        n = min(reference.size, recovered.size)
+        return pesq_like(reference[:n], recovered[:n], AUDIO_RATE_HZ)
+
+    scenario = Scenario(
+        name="fig12",
+        sweep=SweepSpec.grid(power_dbm=tuple(powers_dbm), distance_ft=tuple(distances_ft)),
+        prepare=lambda gen: {
+            "reference": speech_like(
+                duration_s, AUDIO_RATE_HZ, child_generator(gen, "speech"), amplitude=0.9
+            )
+        },
+        rng_keys=lambda p: ("fig12", p["power_dbm"], p["distance_ft"]),
+        measure=measure,
     )
+    result = run_scenario(scenario, rng=rng)
+
     results: Dict[str, object] = {"distances_ft": [float(d) for d in distances_ft]}
     for power in powers_dbm:
-        series: List[float] = []
-        for distance in distances_ft:
-            recovered, _ = simulate_two_phones(
-                reference,
-                power,
-                distance,
-                rng=child_generator(gen, "fig12", power, distance),
-            )
-            n = min(reference.size, recovered.size)
-            series.append(pesq_like(reference[:n], recovered[:n], AUDIO_RATE_HZ))
-        results[f"P{int(power)}"] = series
+        results[power_key(power)] = result.series(along="distance_ft", power_dbm=power)
     return results

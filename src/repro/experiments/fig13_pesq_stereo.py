@@ -12,14 +12,14 @@ step lower.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.audio.pesq import pesq_like
 from repro.audio.speech import speech_like
 from repro.backscatter.device import BackscatterMode
 from repro.constants import AUDIO_RATE_HZ
-from repro.experiments.common import ExperimentChain
-from repro.utils.rand import RngLike, as_generator, child_generator
+from repro.engine import Scenario, SweepSpec, power_key, run_scenario
+from repro.utils.rand import RngLike, child_generator
 
 DEFAULT_POWERS_DBM = (-20.0, -30.0, -40.0)
 DEFAULT_DISTANCES_FT = (1, 4, 8, 12, 16, 20)
@@ -45,32 +45,45 @@ def run(
     """
     if scenario not in ("stereo_station", "mono_station"):
         raise ValueError("scenario must be 'stereo_station' or 'mono_station'")
-    gen = as_generator(rng)
-    reference = speech_like(
-        duration_s, AUDIO_RATE_HZ, child_generator(gen, "speech"), amplitude=0.9
-    )
+    scenario_label = scenario
     station_stereo = scenario == "stereo_station"
     mode = BackscatterMode.STEREO if station_stereo else BackscatterMode.MONO_TO_STEREO
 
+    def measure(run):
+        reference = run.data["reference"]
+        received = run.chain.transmit(reference, run.rng)
+        audio = run.chain.payload_channel(received)
+        return (
+            pesq_like(reference, audio, AUDIO_RATE_HZ),
+            received.stereo_locked,
+        )
+
+    sweep_scenario = Scenario(
+        name="fig13",
+        sweep=SweepSpec.grid(power_dbm=tuple(powers_dbm), distance_ft=tuple(distances_ft)),
+        prepare=lambda gen: {
+            "reference": speech_like(
+                duration_s, AUDIO_RATE_HZ, child_generator(gen, "speech"), amplitude=0.9
+            )
+        },
+        base_chain={
+            "program": "news",
+            "station_stereo": station_stereo,
+            "mode": mode,
+            "stereo_decode": True,
+        },
+        chain_params=lambda p: {
+            "power_dbm": p["power_dbm"],
+            "distance_ft": p["distance_ft"],
+        },
+        rng_keys=lambda p: (scenario_label, p["power_dbm"], p["distance_ft"]),
+        measure=measure,
+    )
+    result = run_scenario(sweep_scenario, rng=rng)
+
     results: Dict[str, object] = {"distances_ft": [float(d) for d in distances_ft]}
     for power in powers_dbm:
-        series: List[float] = []
-        locks: List[bool] = []
-        for distance in distances_ft:
-            chain = ExperimentChain(
-                program="news",
-                station_stereo=station_stereo,
-                mode=mode,
-                power_dbm=power,
-                distance_ft=distance,
-                stereo_decode=True,
-            )
-            received = chain.transmit(
-                reference, child_generator(gen, scenario, power, distance)
-            )
-            audio = chain.payload_channel(received)
-            series.append(pesq_like(reference, audio, AUDIO_RATE_HZ))
-            locks.append(received.stereo_locked)
-        results[f"P{int(power)}"] = series
-        results[f"lock_P{int(power)}"] = locks
+        cells = result.series(along="distance_ft", power_dbm=power)
+        results[power_key(power)] = [score for score, _ in cells]
+        results[power_key(power, prefix="lock_P")] = [locked for _, locked in cells]
     return results

@@ -9,15 +9,15 @@ PESQ of overlaid speech.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.audio.pesq import pesq_like
 from repro.audio.speech import speech_like
 from repro.audio.tones import tone
 from repro.constants import AUDIO_RATE_HZ
 from repro.dsp.spectrum import tone_snr_db
-from repro.experiments.common import ExperimentChain
-from repro.utils.rand import RngLike, as_generator, child_generator
+from repro.engine import Scenario, SweepSpec, power_key, run_scenario
+from repro.utils.rand import RngLike, child_generator
 
 DEFAULT_POWERS_DBM = (-20.0, -30.0)
 DEFAULT_DISTANCES_FT = (20, 30, 40, 50, 60, 70, 80)
@@ -37,44 +37,49 @@ def run(
         dict with ``distances_ft``, ``snr_P<power>`` and ``pesq_P<power>``
         lists (panels a and b of Fig. 14).
     """
-    gen = as_generator(rng)
     tone_payload = tone(TONE_HZ, duration_s, AUDIO_RATE_HZ, amplitude=0.9)
-    speech = speech_like(
-        duration_s, AUDIO_RATE_HZ, child_generator(gen, "speech"), amplitude=0.9
+
+    def measure(run):
+        if run.point["panel"] == "snr":
+            received = run.chain.transmit(tone_payload, run.rng)
+            return tone_snr_db(
+                run.chain.payload_channel(received), AUDIO_RATE_HZ, TONE_HZ
+            )
+        speech = run.data["speech"]
+        received = run.chain.transmit(speech, run.rng)
+        return pesq_like(speech, run.chain.payload_channel(received), AUDIO_RATE_HZ)
+
+    # The panel axis is innermost so the per-point draws interleave
+    # snr, pesq, snr, pesq, ... exactly like the legacy loop body.
+    scenario = Scenario(
+        name="fig14",
+        sweep=SweepSpec.grid(
+            power_dbm=tuple(powers_dbm),
+            distance_ft=tuple(distances_ft),
+            panel=("snr", "pesq"),
+        ),
+        prepare=lambda gen: {
+            "speech": speech_like(
+                duration_s, AUDIO_RATE_HZ, child_generator(gen, "speech"), amplitude=0.9
+            )
+        },
+        base_chain={"receiver_kind": "car", "stereo_decode": False},
+        chain_params=lambda p: {
+            "program": "silence" if p["panel"] == "snr" else program,
+            "power_dbm": p["power_dbm"],
+            "distance_ft": p["distance_ft"],
+        },
+        rng_keys=lambda p: (p["panel"], p["power_dbm"], p["distance_ft"]),
+        measure=measure,
     )
+    result = run_scenario(scenario, rng=rng)
 
     results: Dict[str, object] = {"distances_ft": [float(d) for d in distances_ft]}
     for power in powers_dbm:
-        snr_series: List[float] = []
-        pesq_series: List[float] = []
-        for distance in distances_ft:
-            snr_chain = ExperimentChain(
-                program="silence",
-                power_dbm=power,
-                distance_ft=distance,
-                receiver_kind="car",
-                stereo_decode=False,
-            )
-            received = snr_chain.transmit(
-                tone_payload, child_generator(gen, "snr", power, distance)
-            )
-            snr_series.append(
-                tone_snr_db(snr_chain.payload_channel(received), AUDIO_RATE_HZ, TONE_HZ)
-            )
-
-            pesq_chain = ExperimentChain(
-                program=program,
-                power_dbm=power,
-                distance_ft=distance,
-                receiver_kind="car",
-                stereo_decode=False,
-            )
-            received = pesq_chain.transmit(
-                speech, child_generator(gen, "pesq", power, distance)
-            )
-            pesq_series.append(
-                pesq_like(speech, pesq_chain.payload_channel(received), AUDIO_RATE_HZ)
-            )
-        results[f"snr_P{int(power)}"] = snr_series
-        results[f"pesq_P{int(power)}"] = pesq_series
+        results[power_key(power, prefix="snr_P")] = result.series(
+            along="distance_ft", power_dbm=power, panel="snr"
+        )
+        results[power_key(power, prefix="pesq_P")] = result.series(
+            along="distance_ft", power_dbm=power, panel="pesq"
+        )
     return results

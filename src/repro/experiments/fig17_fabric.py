@@ -14,14 +14,15 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.channel.antenna import MEANDER_SHIRT
-from repro.channel.fading import BodyMotionFading, MOTION_PROFILES
+from repro.channel.fading import BodyMotionFading
 from repro.data.ber import bit_error_rate
 from repro.data.bits import random_bits
 from repro.data.fdm import FdmFskModem
 from repro.data.fsk import BinaryFskModem
 from repro.data.mrc import mrc_combine
+from repro.engine import Scenario, SweepSpec, run_scenario
 from repro.experiments.common import ExperimentChain
-from repro.utils.rand import RngLike, as_generator, child_generator
+from repro.utils.rand import RngLike, child_generator
 
 DEFAULT_MOTIONS = ("standing", "walking", "running")
 DEFAULT_POWER_DBM = -37.0
@@ -31,6 +32,10 @@ DEFAULT_BACK_AMPLITUDE = 0.3
 lossy fabric antenna plus a modest payload deviation share put the link
 in the interference/fading-limited regime the paper reports (BER ~0.02
 standing at 1.6 kbps, ~0 at 100 bps)."""
+
+_LEGS = ("low", "hi0", "hi1")
+"""Transmission legs per (motion, trial): one 100 bps frame and the two
+repetitions of the 1.6 kbps + 2x MRC frame."""
 
 
 def run(
@@ -49,13 +54,53 @@ def run(
         dict with ``motions``, ``ber_100bps`` and ``ber_1.6kbps_mrc2``
         lists (the two bar groups of Fig. 17b), averaged over trials.
     """
-    gen = as_generator(rng)
     bfsk = BinaryFskModem()
     fdm = FdmFskModem(symbol_rate=200)
-    bits_low = random_bits(n_bits_low, child_generator(gen, "low"))
-    bits_high = random_bits(n_bits_high, child_generator(gen, "high"))
-    wave_low = bfsk.modulate(bits_low)
-    wave_high = fdm.modulate(bits_high)
+
+    def prepare(gen):
+        bits_low = random_bits(n_bits_low, child_generator(gen, "low"))
+        bits_high = random_bits(n_bits_high, child_generator(gen, "high"))
+        return {
+            "bits_low": bits_low,
+            "bits_high": bits_high,
+            "wave_low": bfsk.modulate(bits_low),
+            "wave_high": fdm.modulate(bits_high),
+        }
+
+    def measure(run):
+        # Every leg sees fresh fading and its own ambient program (the
+        # MRC repetitions in particular must not share interference);
+        # both streams derive from the point generator.
+        motion = run.point["motion"]
+        leg = run.point["leg"]
+        fading = BodyMotionFading(motion, child_generator(run.rng, "fade"))
+        chain = ExperimentChain(
+            program="news",
+            power_dbm=power_dbm,
+            distance_ft=distance_ft,
+            stereo_decode=False,
+            fading=fading,
+            device_antenna=MEANDER_SHIRT,
+            back_amplitude=back_amplitude,
+        )
+        chain.ambient_source = run.ambient
+        wave = run.data["wave_low"] if leg == "low" else run.data["wave_high"]
+        received = chain.transmit(wave, child_generator(run.rng, "rx"))
+        return chain.payload_channel(received)
+
+    scenario = Scenario(
+        name="fig17",
+        sweep=SweepSpec.grid(motion=tuple(motions), trial=tuple(range(n_trials)), leg=_LEGS),
+        prepare=prepare,
+        rng_keys=lambda p: ("f17", p["motion"], p["trial"], p["leg"]),
+        # Distinct program audio per (trial, leg) — shared across motions,
+        # where only the fading statistics differ.
+        ambient_variant=lambda p: (p["trial"], p["leg"]),
+        measure=measure,
+    )
+    result = run_scenario(scenario, rng=rng)
+    bits_low = result.data["bits_low"]
+    bits_high = result.data["bits_high"]
 
     results: Dict[str, object] = {"motions": list(motions)}
     ber_low: List[float] = []
@@ -64,43 +109,14 @@ def run(
         low_trials = []
         high_trials = []
         for trial in range(n_trials):
-            fading = BodyMotionFading(
-                motion, child_generator(gen, "fade", motion, trial)
-            )
-            chain = ExperimentChain(
-                program="news",
-                power_dbm=power_dbm,
-                distance_ft=distance_ft,
-                stereo_decode=False,
-                fading=fading,
-                device_antenna=MEANDER_SHIRT,
-                back_amplitude=back_amplitude,
-            )
-            received = chain.transmit(
-                wave_low, child_generator(gen, "rx_low", motion, trial)
-            )
-            detected = bfsk.demodulate(chain.payload_channel(received), bits_low.size)
+            audio_low = result.value_at(motion=motion, trial=trial, leg="low")
+            detected = bfsk.demodulate(audio_low, bits_low.size)
             low_trials.append(bit_error_rate(bits_low, detected))
 
-            # 1.6 kbps with 2x MRC: two receptions, fresh fading + program.
-            receptions = []
-            for rep in range(2):
-                fading_rep = BodyMotionFading(
-                    motion, child_generator(gen, "fade_hi", motion, trial, rep)
-                )
-                chain_hi = ExperimentChain(
-                    program="news",
-                    power_dbm=power_dbm,
-                    distance_ft=distance_ft,
-                    stereo_decode=False,
-                    fading=fading_rep,
-                    device_antenna=MEANDER_SHIRT,
-                    back_amplitude=back_amplitude,
-                )
-                received = chain_hi.transmit(
-                    wave_high, child_generator(gen, "rx_hi", motion, trial, rep)
-                )
-                receptions.append(chain_hi.payload_channel(received))
+            receptions = [
+                result.value_at(motion=motion, trial=trial, leg=leg)
+                for leg in ("hi0", "hi1")
+            ]
             combined = mrc_combine(receptions)
             detected = fdm.demodulate(combined, bits_high.size)
             high_trials.append(bit_error_rate(bits_high, detected))

@@ -51,6 +51,24 @@ class StereoAudio:
         return 0.5 * (self.left - self.right)
 
 
+def decode_mono(
+    mpx: np.ndarray,
+    mpx_rate: float = MPX_RATE_HZ,
+    audio_rate: float = AUDIO_RATE_HZ,
+) -> np.ndarray:
+    """Extract only the mono (L+R) audio from an MPX baseband.
+
+    This is the 0-15 kHz slice every receiver produces before any stereo
+    processing; mono-only receive paths (``stereo_capable=False``) use it
+    directly and skip pilot recovery entirely.
+    """
+    mpx = ensure_real(mpx, "mpx")
+    mpx_rate = ensure_positive(mpx_rate, "mpx_rate")
+    audio_rate = ensure_positive(audio_rate, "audio_rate")
+    mono_mpx = filter_signal(design_lowpass_fir(15e3, mpx_rate, 513), mpx)
+    return resample_by_ratio(mono_mpx, mpx_rate, audio_rate)
+
+
 def decode_stereo(
     mpx: np.ndarray,
     mpx_rate: float = MPX_RATE_HZ,
@@ -74,8 +92,7 @@ def decode_stereo(
     mpx_rate = ensure_positive(mpx_rate, "mpx_rate")
     audio_rate = ensure_positive(audio_rate, "audio_rate")
 
-    mono_mpx = filter_signal(design_lowpass_fir(15e3, mpx_rate, 513), mpx)
-    mono = resample_by_ratio(mono_mpx, mpx_rate, audio_rate)
+    mono = decode_mono(mpx, mpx_rate, audio_rate)
 
     has_pilot = detect_pilot(mpx, mpx_rate)
     if not (has_pilot or force_stereo):

@@ -11,7 +11,7 @@ from repro.constants import AUDIO_RATE_HZ, FM_MAX_DEVIATION_HZ, MPX_RATE_HZ
 from repro.dsp.biquad import deemphasis_filter
 from repro.dsp.filters import design_lowpass_fir, filter_signal
 from repro.fm.demodulator import fm_demodulate
-from repro.fm.stereo import StereoAudio, decode_stereo
+from repro.fm.stereo import StereoAudio, decode_mono, decode_stereo
 from repro.utils.validation import ensure_positive
 
 
@@ -93,20 +93,21 @@ class FMReceiver:
         mpx = self.receive_mpx(iq)
         if self.stereo_capable:
             decoded: StereoAudio = decode_stereo(mpx, self.mpx_rate, self.audio_rate)
+            left = self._post_process(decoded.left)
+            right = self._post_process(decoded.right)
+            stereo_locked = decoded.stereo_locked
         else:
-            mono_only = decode_stereo(mpx, self.mpx_rate, self.audio_rate)
-            decoded = StereoAudio(
-                left=mono_only.mono,
-                right=mono_only.mono.copy(),
-                stereo_locked=False,
-                audio_rate=self.audio_rate,
-            )
-        left = self._post_process(decoded.left)
-        right = self._post_process(decoded.right)
+            # Mono fast path: pilot recovery and the stereo matrix are
+            # pure, deterministic DSP whose output a mono receiver
+            # discards, so skipping them changes nothing downstream —
+            # L and R are the identically post-processed mono mix.
+            left = self._post_process(decode_mono(mpx, self.mpx_rate, self.audio_rate))
+            right = left.copy()
+            stereo_locked = False
         return ReceivedAudio(
             left=left,
             right=right,
-            stereo_locked=decoded.stereo_locked,
+            stereo_locked=stereo_locked,
             mpx=mpx,
             audio_rate=self.audio_rate,
         )

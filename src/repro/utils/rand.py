@@ -32,6 +32,19 @@ def as_generator(rng: RngLike = None) -> np.random.Generator:
     raise TypeError(f"rng must be None, an int seed, or a Generator, got {type(rng)!r}")
 
 
+def derive_seed(master: Union[int, np.integer], *keys: Union[int, float, str]) -> int:
+    """Mix a master seed with a key tuple into a new deterministic seed.
+
+    Pure function of its arguments — unlike :func:`child_generator` it does
+    not consume generator state, so concurrent sweep workers can derive the
+    same seed regardless of execution order.
+    """
+    # zlib.crc32 is stable across processes (unlike hash(), which Python
+    # salts per interpreter run), so sweeps reproduce bit-for-bit.
+    mixed = zlib.crc32(repr(tuple(keys)).encode("utf-8"))
+    return (int(master) ^ mixed) % (2**63)
+
+
 def child_generator(rng: RngLike, *keys: Union[int, str]) -> np.random.Generator:
     """Derive an independent child generator from ``rng`` and a key tuple.
 
@@ -39,8 +52,4 @@ def child_generator(rng: RngLike, *keys: Union[int, str]) -> np.random.Generator
     independent but deterministic stream.
     """
     base = as_generator(rng)
-    # zlib.crc32 is stable across processes (unlike hash(), which Python
-    # salts per interpreter run), so sweeps reproduce bit-for-bit.
-    mixed = zlib.crc32(repr(tuple(keys)).encode("utf-8"))
-    seed = int(base.integers(0, 2**31)) ^ mixed
-    return np.random.default_rng(seed % (2**63))
+    return np.random.default_rng(derive_seed(int(base.integers(0, 2**31)), *keys))

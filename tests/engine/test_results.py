@@ -1,0 +1,98 @@
+"""Tests for sweep result tables and the stable series-key formatters."""
+
+import numpy as np
+import pytest
+
+from repro.engine import SweepResult, SweepSpec, format_axis_value, power_key
+
+
+class TestFormatAxisValue:
+    def test_integral_floats_match_legacy_int_formatting(self):
+        # The legacy loops wrote f"P{int(power)}"; integral values must
+        # keep producing the same text so existing result keys survive.
+        assert format_axis_value(-30.0) == "-30"
+        assert format_axis_value(20.0) == "20"
+        assert format_axis_value(0.0) == "0"
+
+    def test_fractional_floats_stay_distinct(self):
+        # int(-32.5) == int(-32.9) == -32 collided under the old scheme.
+        assert format_axis_value(-32.5) == "-32.5"
+        assert format_axis_value(-32.9) == "-32.9"
+        assert format_axis_value(-32.5) != format_axis_value(-32.9)
+
+    def test_ints_and_numpy_scalars(self):
+        assert format_axis_value(4) == "4"
+        assert format_axis_value(np.int64(-60)) == "-60"
+        assert format_axis_value(np.float64(-40.0)) == "-40"
+        assert format_axis_value(np.float64(-32.5)) == "-32.5"
+
+    def test_strings_and_bools_pass_through(self):
+        assert format_axis_value("rock") == "rock"
+        assert format_axis_value(True) == "True"
+
+
+class TestPowerKey:
+    def test_matches_legacy_keys_for_integral_powers(self):
+        assert power_key(-30.0) == "P-30"
+        assert power_key(-60) == "P-60"
+
+    def test_fractional_powers_do_not_collide(self):
+        assert power_key(-32.5) == "P-32.5"
+        assert power_key(-32.5) != power_key(-32.9)
+
+    def test_prefix(self):
+        assert power_key(-40.0, prefix="snr_P") == "snr_P-40"
+
+
+def _result():
+    spec = SweepSpec.grid(power_dbm=(-20.0, -40.0), distance_ft=(1, 2, 4))
+    points = spec.points()
+    # value encodes its coordinates so slices are easy to check
+    values = [(p["power_dbm"], p["distance_ft"]) for p in points]
+    return SweepResult(spec=spec, points=points, values=values)
+
+
+class TestSweepResult:
+    def test_len_and_iter(self):
+        result = _result()
+        assert len(result) == 6
+        for point, value in result:
+            assert value == (point["power_dbm"], point["distance_ft"])
+
+    def test_series_slices_along_one_axis(self):
+        result = _result()
+        series = result.series(along="distance_ft", power_dbm=-40.0)
+        assert series == [(-40.0, 1), (-40.0, 2), (-40.0, 4)]
+
+    def test_series_requires_other_axes_fixed(self):
+        with pytest.raises(KeyError):
+            _result().series(along="distance_ft")
+
+    def test_series_unknown_axis(self):
+        with pytest.raises(KeyError):
+            _result().series(along="rate", power_dbm=-20.0)
+
+    def test_series_rejects_value_not_on_axis(self):
+        # A typo'd pin must raise, not silently return an empty list.
+        with pytest.raises(KeyError):
+            _result().series(along="distance_ft", power_dbm=-35.0)
+
+    def test_series_rejects_pin_on_unknown_axis(self):
+        with pytest.raises(KeyError):
+            _result().series(along="distance_ft", power_dbm=-20.0, rate="100bps")
+
+    def test_value_at_single_point(self):
+        result = _result()
+        assert result.value_at(power_dbm=-20.0, distance_ft=2) == (-20.0, 2)
+        with pytest.raises(KeyError):
+            result.value_at(power_dbm=-20.0)  # matches three points
+
+    def test_grid_reshapes_to_sweep_shape(self):
+        grid = _result().grid()
+        assert grid.shape == (2, 3)
+        assert grid[1, 2] == (-40.0, 4)
+
+    def test_to_table_records(self):
+        records = _result().to_table()
+        assert records[0] == {"power_dbm": -20.0, "distance_ft": 1, "value": (-20.0, 1)}
+        assert len(records) == 6

@@ -1,0 +1,89 @@
+"""Tests for the declarative sweep scenario layer."""
+
+import pytest
+
+from repro.engine import Axis, GridPoint, Scenario, SweepSpec
+from repro.errors import ConfigurationError
+
+
+class TestAxis:
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Axis("power_dbm", ())
+
+    def test_values_preserved_in_order(self):
+        axis = Axis("distance_ft", (1, 2, 4))
+        assert axis.values == (1, 2, 4)
+
+
+class TestSweepSpec:
+    def test_grid_preserves_declaration_order(self):
+        spec = SweepSpec.grid(power_dbm=(-20.0, -40.0), distance_ft=(1, 2, 4))
+        assert spec.names == ("power_dbm", "distance_ft")
+        assert spec.shape == (2, 3)
+        assert spec.n_points == 6
+
+    def test_points_enumerate_row_major(self):
+        # First axis outermost — the nesting order of the legacy loops.
+        spec = SweepSpec.grid(a=(1, 2), b=("x", "y"))
+        coords = [(p["a"], p["b"]) for p in spec.points()]
+        assert coords == [(1, "x"), (1, "y"), (2, "x"), (2, "y")]
+        assert [p.index for p in spec.points()] == [0, 1, 2, 3]
+
+    def test_needs_at_least_one_axis(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec([])
+
+    def test_duplicate_axis_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec([Axis("a", (1,)), Axis("a", (2,))])
+
+    def test_axis_lookup(self):
+        spec = SweepSpec.grid(power_dbm=(-20.0,), distance_ft=(1, 2))
+        assert spec.axis("distance_ft").values == (1, 2)
+        with pytest.raises(KeyError):
+            spec.axis("rate")
+
+
+class TestGridPoint:
+    def test_mapping_access(self):
+        point = GridPoint(index=3, coords={"power_dbm": -30.0, "distance_ft": 4})
+        assert point["power_dbm"] == -30.0
+        assert point.get("missing", "fallback") == "fallback"
+        assert point.values == (-30.0, 4)
+
+
+class TestScenario:
+    @staticmethod
+    def _scenario(**overrides):
+        kwargs = dict(
+            name="demo",
+            sweep=SweepSpec.grid(power_dbm=(-20.0, -40.0)),
+            measure=lambda run: 0.0,
+        )
+        kwargs.update(overrides)
+        return Scenario(**kwargs)
+
+    def test_default_rng_keys_are_name_plus_values(self):
+        scenario = self._scenario()
+        point = scenario.sweep.points()[1]
+        assert scenario.point_rng_keys(point) == ("demo", -40.0)
+
+    def test_rng_keys_override(self):
+        scenario = self._scenario(rng_keys=lambda p: ("fig7", p["power_dbm"]))
+        point = scenario.sweep.points()[0]
+        assert scenario.point_rng_keys(point) == ("fig7", -20.0)
+
+    def test_chain_kwargs_merge_per_point_over_base(self):
+        scenario = self._scenario(
+            base_chain={"program": "news", "power_dbm": 0.0},
+            chain_params=lambda p: {"power_dbm": p["power_dbm"]},
+        )
+        point = scenario.sweep.points()[1]
+        assert scenario.chain_kwargs(point) == {"program": "news", "power_dbm": -40.0}
+        assert scenario.uses_chain
+
+    def test_no_chain_declared(self):
+        scenario = self._scenario()
+        assert not scenario.uses_chain
+        assert scenario.chain_kwargs(scenario.sweep.points()[0]) == {}
