@@ -1,26 +1,31 @@
-"""Engine speedup: cached sweep vs the legacy per-point resynthesis.
+"""Engine speedup: cached sweep vs legacy resynthesis, plus backends.
 
-Times the full 5-power × 8-distance Fig. 8 BER sweep twice — once through
-the engine (cold ambient cache: one program synthesis + one composite
-modulation shared by all 40 points) and once through the hand-rolled
-legacy loop it replaced (a fresh front-end synthesis at every point) —
-and records both wall times to ``benchmarks/BENCH_engine.json``.
+Two measurements, both written to ``benchmarks/BENCH_engine.json``:
 
-The acceptance bar is a >= 2x wall-clock win for the cached path; the
-assertion leaves headroom for machine noise while the artifact records
-the exact measured ratio.
+1. The full 5-power × 8-distance Fig. 8 BER sweep through the engine
+   (cold ambient cache: one program synthesis + one composite modulation
+   shared by all 40 points) versus the hand-rolled legacy loop it
+   replaced (a fresh front-end synthesis at every point). Acceptance bar:
+   a >= 2x wall-clock win for the cached path, asserted with headroom for
+   machine noise.
+2. The same sweep under each execution backend — serial, thread,
+   process and batched — with a warm front-end cache, so the numbers
+   isolate the per-point link + receive work each backend parallelizes
+   or vectorizes. Backends must agree bit-for-bit with serial (asserted),
+   so the timings compare equal work.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
 import pytest
 
 from repro.data.bits import random_bits
-from repro.engine import default_cache
+from repro.engine import BACKENDS, default_cache
 from repro.experiments import fig08_ber_overlay as fig08
 from repro.experiments.common import ExperimentChain, measure_data_ber
 from repro.utils.rand import as_generator, child_generator
@@ -32,6 +37,19 @@ N_BITS = 40
 SEED = 2017
 POWERS = fig08.DEFAULT_POWERS_DBM  # 5 powers
 DISTANCES = fig08.DEFAULT_DISTANCES_FT  # 8 distances
+
+
+def _merge_artifact(section: str, payload: dict) -> dict:
+    """Update one section of the benchmark artifact, keeping the rest."""
+    record = {}
+    if ARTIFACT.exists():
+        try:
+            record = json.loads(ARTIFACT.read_text())
+        except ValueError:
+            record = {}
+    record[section] = payload
+    ARTIFACT.write_text(json.dumps(record, indent=2) + "\n")
+    return record
 
 
 def _legacy_sweep() -> dict:
@@ -57,9 +75,21 @@ def _legacy_sweep() -> dict:
     return results
 
 
+@pytest.fixture
+def no_persistent_cache(monkeypatch):
+    """Detach any REPRO_CACHE_DIR spill for the duration of a benchmark.
+
+    The 'cold cache' measurement must actually synthesize: with a warm
+    persistent store attached, clear() keeps the .npz files (by design)
+    and the timing would silently measure disk loads instead.
+    """
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+
+
 @pytest.mark.engine_bench
-def test_engine_cached_sweep_speedup():
+def test_engine_cached_sweep_speedup(no_persistent_cache):
     cache = default_cache()
+    assert cache.store is None
     cache.clear()
 
     start = time.perf_counter()
@@ -82,9 +112,9 @@ def test_engine_cached_sweep_speedup():
         "cached_s": round(cached_s, 4),
         "uncached_s": round(uncached_s, 4),
         "speedup": round(speedup, 3),
-        "cache": stats,
+        "cache": {k: stats[k] for k in ("hits", "misses", "items")},
     }
-    ARTIFACT.write_text(json.dumps(record, indent=2) + "\n")
+    _merge_artifact("cached_vs_uncached", record)
     print(f"\n=== engine speedup ===\n{json.dumps(record, indent=2)}")
 
     # One ambient MPX + one modulated composite for the whole grid,
@@ -96,3 +126,49 @@ def test_engine_cached_sweep_speedup():
     # The acceptance target is 2x; assert with headroom for CI noise
     # (locally ~2.5x) so the suite doesn't flake on a loaded machine.
     assert speedup > 1.5, f"cached sweep only {speedup:.2f}x faster"
+
+
+@pytest.mark.engine_bench
+def test_engine_backend_matrix_timings(no_persistent_cache):
+    """Time the Fig. 8 sweep under every backend; record to the artifact.
+
+    The front-end cache is warmed once up front, so each measurement is
+    the per-point link + receive work the backends differ on. Results
+    must be bit-identical across backends (the engine's contract), which
+    also guarantees the timings compare equal work.
+    """
+    default_cache().clear()
+    fig08.run(rate=RATE, n_bits=N_BITS, rng=SEED)  # warm the front end
+
+    timings = {}
+    results = {}
+    before = os.environ.get("REPRO_SWEEP_BACKEND")
+    try:
+        for backend in BACKENDS:
+            os.environ["REPRO_SWEEP_BACKEND"] = backend
+            start = time.perf_counter()
+            results[backend] = fig08.run(rate=RATE, n_bits=N_BITS, rng=SEED)
+            timings[backend] = round(time.perf_counter() - start, 4)
+    finally:
+        if before is None:
+            os.environ.pop("REPRO_SWEEP_BACKEND", None)
+        else:
+            os.environ["REPRO_SWEEP_BACKEND"] = before
+
+    record = {
+        "benchmark": "fig08_backend_matrix_warm_cache",
+        "grid": {"powers_dbm": list(POWERS), "distances_ft": list(DISTANCES)},
+        "n_points": len(POWERS) * len(DISTANCES),
+        "rate": RATE,
+        "n_bits": N_BITS,
+        "backend_s": timings,
+        "speedup_vs_serial": {
+            backend: round(timings["serial"] / timings[backend], 3)
+            for backend in BACKENDS
+        },
+    }
+    _merge_artifact("backend_matrix", record)
+    print(f"\n=== backend matrix ===\n{json.dumps(record, indent=2)}")
+
+    for backend in BACKENDS[1:]:
+        assert results[backend] == results["serial"], backend

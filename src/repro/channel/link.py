@@ -22,7 +22,7 @@ collapse exactly like hardware.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -30,9 +30,21 @@ from repro.channel.antenna import Antenna, DIPOLE_POSTER, HEADPHONE_WIRE
 from repro.channel.noise import complex_awgn
 from repro.channel.pathloss import free_space_path_loss_db
 from repro.errors import LinkBudgetError
-from repro.utils.rand import RngLike
+from repro.utils.rand import RngLike, as_generator
 from repro.utils.units import feet_to_meters
 from repro.utils.validation import ensure_1d
+
+
+class FadingModel(Protocol):
+    """Anything that can produce a channel amplitude envelope.
+
+    Implemented by :class:`repro.channel.fading.BodyMotionFading`; the
+    link multiplies the envelope onto the complex baseband sample-wise.
+    """
+
+    def envelope(self, n_samples: int, sample_rate: float) -> np.ndarray:
+        """Amplitude envelope of ``n_samples`` at ``sample_rate``."""
+        ...
 
 SQUARE_WAVE_SIDEBAND_LOSS_DB = 3.92
 """Power loss of one first-order square-wave sideband: (2/pi)^2."""
@@ -126,6 +138,79 @@ class LinkBudget:
         return self.backscatter_rx_power_dbm() - self.noise_floor_dbm()
 
 
+def batched_rf_snr_db(budgets: Sequence[LinkBudget]) -> np.ndarray:
+    """RF SNR of many link budgets as one vectorized computation.
+
+    The budget formula is elementwise (Friis loss, antenna gains, a
+    noise-floor max), so a whole sweep grid's SNRs reduce to a handful of
+    array ops. Every operation mirrors :meth:`LinkBudget.rf_snr_db`
+    term for term, in the same association order, so each element is
+    bit-identical to the scalar computation — the invariant the batched
+    sweep backend's bit-identity contract rests on.
+    """
+    if not budgets:
+        return np.empty(0)
+    power = np.array([b.ambient_power_at_device_dbm for b in budgets], dtype=float)
+    distance_m = feet_to_meters(np.array([b.distance_ft for b in budgets], dtype=float))
+    frequency = np.array([b.frequency_hz for b in budgets], dtype=float)
+    device_gain = np.array([b.device_antenna.effective_gain_db for b in budgets])
+    receiver_gain = np.array([b.receiver_antenna.effective_gain_db for b in budgets])
+    conversion = np.array([b.conversion_loss_db for b in budgets])
+    floor = np.array([b.receiver_noise_floor_dbm for b in budgets])
+    suppression = np.array([b.adjacent_suppression_db for b in budgets])
+
+    path_loss = free_space_path_loss_db(distance_m, frequency)
+    rx_power = power + device_gain - conversion + receiver_gain - path_loss
+    noise = np.maximum(floor, power - suppression)
+    return rx_power - noise
+
+
+def transmit_batch(
+    iq: np.ndarray,
+    budgets: Sequence[LinkBudget],
+    rngs: Sequence[RngLike],
+) -> np.ndarray:
+    """Pass one shared envelope through many link budgets at once.
+
+    The batched counterpart of :meth:`BackscatterLink.transmit` for the
+    no-fading case: every grid point reuses the same cached front-end
+    envelope, so only the per-point noise differs. SNRs and noise scales
+    are computed as single array ops; the Gaussian draws themselves come
+    from each point's own pre-derived generator (two ``standard_normal``
+    calls per point, exactly like :func:`repro.channel.noise.complex_awgn`)
+    so each output row is bit-identical to the serial link.
+
+    Args:
+        iq: shared unit-amplitude complex envelope, 1-D.
+        budgets: one link budget per output row.
+        rngs: one seed/Generator per output row.
+
+    Returns:
+        Noise-corrupted envelopes, shape ``(len(budgets), iq.size)``.
+    """
+    iq = ensure_1d(iq, "iq")
+    if not np.iscomplexobj(iq):
+        raise LinkBudgetError("iq must be a complex envelope")
+    if len(budgets) != len(rngs):
+        raise LinkBudgetError(
+            f"got {len(budgets)} budgets but {len(rngs)} generators"
+        )
+    snr_db = batched_rf_snr_db(budgets)
+    power = float(np.mean(np.abs(iq) ** 2))
+    noise_power = power / (10.0 ** (snr_db / 10.0))
+    scales = np.sqrt(noise_power / 2.0)
+
+    out = np.empty((len(budgets), iq.size), dtype=complex)
+    clean = iq.astype(complex)
+    for row, (scale, rng) in enumerate(zip(scales, rngs)):
+        gen = as_generator(rng)
+        noise = scale * (
+            gen.standard_normal(iq.size) + 1j * gen.standard_normal(iq.size)
+        )
+        out[row] = clean + noise
+    return out
+
+
 class BackscatterLink:
     """Applies a link budget to a complex envelope.
 
@@ -136,7 +221,7 @@ class BackscatterLink:
             the instantaneous SNR varies accordingly.
     """
 
-    def __init__(self, budget: LinkBudget, fading=None) -> None:
+    def __init__(self, budget: LinkBudget, fading: Optional[FadingModel] = None) -> None:
         self.budget = budget
         self.fading = fading
 

@@ -13,7 +13,7 @@ from scipy import signal as sp_signal
 
 from repro.dsp.windows import hann_window
 from repro.errors import ConfigurationError
-from repro.utils.validation import ensure_1d, ensure_positive
+from repro.utils.validation import ensure_positive, ensure_signal
 
 
 def design_lowpass_fir(cutoff_hz: float, sample_rate: float, num_taps: int = 257) -> np.ndarray:
@@ -77,16 +77,22 @@ def filter_signal(taps: np.ndarray, signal: np.ndarray) -> np.ndarray:
 
     Args:
         taps: FIR taps with odd length.
-        signal: real or complex input, 1-D.
+        signal: real or complex input; 1-D, or 2-D ``(batch, samples)`` to
+            filter a stack of waveforms along the last axis in one FFT
+            pass. Each row's output is bit-identical to filtering that row
+            alone, so the sweep engine's batched backend can share this
+            exact code path with the serial one.
 
     Returns:
-        Filtered signal, same length and alignment as the input.
+        Filtered signal, same shape and alignment as the input.
     """
-    signal = ensure_1d(signal, "signal")
+    signal = ensure_signal(signal, "signal")
     taps = np.asarray(taps, dtype=float)
     if taps.ndim != 1 or taps.size % 2 == 0:
         raise ConfigurationError("taps must be a 1-D odd-length array")
     delay = (taps.size - 1) // 2
-    padded = np.concatenate([signal, np.zeros(delay, dtype=signal.dtype)])
-    filtered = sp_signal.fftconvolve(padded, taps, mode="full")
-    return filtered[delay : delay + signal.size]
+    pad = np.zeros(signal.shape[:-1] + (delay,), dtype=signal.dtype)
+    padded = np.concatenate([signal, pad], axis=-1)
+    kernel = taps if signal.ndim == 1 else taps[np.newaxis, :]
+    filtered = sp_signal.fftconvolve(padded, kernel, mode="full", axes=-1)
+    return filtered[..., delay : delay + signal.shape[-1]]

@@ -15,7 +15,7 @@ import numpy as np
 from scipy import signal as sp_signal
 
 from repro.errors import ConfigurationError
-from repro.utils.validation import ensure_1d, ensure_positive
+from repro.utils.validation import ensure_positive, ensure_signal
 
 
 def resample_poly_exact(signal: np.ndarray, up: int, down: int) -> np.ndarray:
@@ -25,21 +25,25 @@ def resample_poly_exact(signal: np.ndarray, up: int, down: int) -> np.ndarray:
     every resampling step in the library funnels through one place.
 
     Args:
-        signal: 1-D real or complex input.
+        signal: real or complex input; 1-D, or 2-D ``(batch, samples)`` to
+            resample a stack of waveforms along the last axis in one
+            polyphase pass (each row bit-identical to resampling it
+            alone).
         up: integer upsampling factor (>= 1).
         down: integer downsampling factor (>= 1).
 
     Returns:
-        The resampled signal of length ``ceil(len(signal) * up / down)``.
+        The resampled signal whose last axis has length
+        ``ceil(samples * up / down)``.
     """
-    signal = ensure_1d(signal, "signal")
+    signal = ensure_signal(signal, "signal")
     if not isinstance(up, (int, np.integer)) or up < 1:
         raise ConfigurationError(f"up must be a positive integer, got {up!r}")
     if not isinstance(down, (int, np.integer)) or down < 1:
         raise ConfigurationError(f"down must be a positive integer, got {down!r}")
     if up == down:
         return signal.copy()
-    return sp_signal.resample_poly(signal, int(up), int(down))
+    return sp_signal.resample_poly(signal, int(up), int(down), axis=-1)
 
 
 def resample_by_ratio(

@@ -1,56 +1,90 @@
-"""Sweep engine: declarative scenarios, ambient caching, parallel grids.
+"""Sweep engine: declarative scenarios, multi-backend grids, ambient caching.
 
 Every paper-figure experiment is a parameter sweep (power x distance x
 rate x program x receiver) over the same physical chain. This package
 separates the *what* from the *how*: a :class:`Scenario` declares the
-grid, the per-point RNG derivation, and the measurement; a
-:class:`SweepRunner` executes it — serially or across a thread pool —
-with a keyed :class:`AmbientCache` so each ambient program is
-synthesized and FM-modulated exactly once per sweep instead of once per
-grid point.
+grid, the per-point RNG derivation, the transmission payload and the
+measurement — as plain data (:class:`AxisRef` templates, ``chain_axes``,
+module-level measures), so a grid point can be shipped across a process
+boundary; a :class:`SweepRunner` executes it through one of four
+backends (``serial`` / ``thread`` / ``process`` / ``batched``, see
+``REPRO_SWEEP_BACKEND``) with a keyed :class:`AmbientCache` so each
+ambient program is synthesized and FM-modulated exactly once per sweep
+instead of once per grid point — and at most once *ever* per
+configuration when ``REPRO_CACHE_DIR`` points the cache at a persistent
+:class:`CacheStore`.
 
-Usage::
+Usage (the spec form — plain data plus a module-level measure, so the
+same scenario runs on every backend including ``process``)::
 
-    from repro.engine import Scenario, SweepSpec, SweepRunner, power_key
-    from repro.experiments.common import measure_data_ber
+    from repro.engine import AxisRef, Scenario, SweepSpec, SweepRunner
+
+    def score_ber(run, modem):          # module level => picklable
+        bits = run.data["bits"]
+        audio = run.chain.payload_channel(run.received)
+        return bit_error_rate(bits, modem.demodulate(audio, bits.size))
 
     scenario = Scenario(
         name="fig8",
         sweep=SweepSpec.grid(power_dbm=(-20.0, -40.0), distance_ft=(2, 8)),
+        prepare=lambda gen: make_payload_dict(gen),   # parent-only
         base_chain={"program": "news", "stereo_decode": False},
-        chain_params=lambda p: {
-            "power_dbm": p["power_dbm"], "distance_ft": p["distance_ft"],
-        },
-        prepare=lambda gen: {"bits": make_payload(gen)},
-        measure=lambda run: measure_data_ber(
-            run.chain, modem, run.data["bits"], run.rng
-        ),
+        chain_axes=("power_dbm", "distance_ft"),
+        rng_keys=("fig8", AxisRef("power_dbm"), AxisRef("distance_ft")),
+        payload="waveform",             # the runner transmits it per point
+        measure=score_ber,
+        measure_params={"modem": modem},
     )
-    result = SweepRunner(scenario, rng=2017, max_workers=4).run()
+    result = SweepRunner(scenario, rng=2017, backend="batched").run()
     series = result.series(along="distance_ft", power_dbm=-40.0)
+
+The callable style (``chain_params`` / ``rng_keys`` lambdas) still works
+for in-process backends (``serial`` / ``thread`` / ``batched``'s
+fallback); only ``process`` requires the picklable spec form.
 
 Determinism contract: the per-point streams are pre-derived from the
 sweep generator in grid order (exactly the draws the legacy nested loops
-consumed), so results are bit-identical between serial and parallel
-execution and across worker counts. Set ``REPRO_SWEEP_WORKERS=<n>`` to
-parallelize every figure sweep without touching call sites.
+consumed), so results are bit-identical across all four backends and any
+worker count. Set ``REPRO_SWEEP_WORKERS=<n>`` / ``REPRO_SWEEP_BACKEND=
+<backend>`` to change execution for every figure sweep without touching
+call sites.
 """
 
 from repro.engine.cache import AmbientCache, CachedAmbient, default_cache, payload_fingerprint
 from repro.engine.results import SweepResult, format_axis_value, power_key
-from repro.engine.runner import SweepRunner, default_max_workers, run_scenario
-from repro.engine.scenario import Axis, GridPoint, PointRun, Scenario, SweepSpec
+from repro.engine.runner import (
+    BACKENDS,
+    SweepRunner,
+    default_backend,
+    default_max_workers,
+    run_scenario,
+)
+from repro.engine.scenario import (
+    Axis,
+    AxisRef,
+    GridPoint,
+    PayloadSelector,
+    PointRun,
+    Scenario,
+    SweepSpec,
+)
+from repro.engine.store import CacheStore
 
 __all__ = [
     "AmbientCache",
     "Axis",
+    "AxisRef",
+    "BACKENDS",
     "CachedAmbient",
+    "CacheStore",
     "GridPoint",
+    "PayloadSelector",
     "PointRun",
     "Scenario",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
+    "default_backend",
     "default_cache",
     "default_max_workers",
     "format_axis_value",

@@ -16,6 +16,7 @@ other grid points (important once points run concurrently).
 
 from __future__ import annotations
 
+import os
 import threading
 import zlib
 from collections import OrderedDict
@@ -24,6 +25,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro.constants import AUDIO_RATE_HZ, MPX_RATE_HZ
+from repro.engine.store import CACHE_DIR_ENV_VAR, CacheStore
 from repro.fm.modulator import fm_modulate
 from repro.fm.station import FMStation, StationConfig
 from repro.utils.rand import derive_seed
@@ -42,10 +44,19 @@ class AmbientCache:
     duration, ...), so concurrent fills of the same key compute identical
     arrays and the cache stays seed-stable no matter which worker gets
     there first.
+
+    Args:
+        max_items: in-memory LRU capacity.
+        store: optional :class:`~repro.engine.store.CacheStore`; misses
+            consult the disk before synthesizing, and fresh syntheses are
+            spilled, so repeated runs, process-pool workers and future
+            sweep shards skip synthesis entirely. ``syntheses`` /
+            ``disk_hits`` count how often each path was taken.
     """
 
-    def __init__(self, max_items: int = 64) -> None:
+    def __init__(self, max_items: int = 64, store: Optional[CacheStore] = None) -> None:
         self.max_items = max_items
+        self.store = store
         self._store: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._lock = threading.Lock()
         # In-flight fills, so workers synthesizing *different* keys run
@@ -54,6 +65,8 @@ class AmbientCache:
         self._pending: Dict[tuple, threading.Event] = {}
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.syntheses = 0
 
     def get(self, key: tuple, factory: Callable[[], np.ndarray]) -> np.ndarray:
         """Return the cached array for ``key``, filling it via ``factory``."""
@@ -74,7 +87,18 @@ class AmbientCache:
         # The factory (which may itself call get() for other keys) runs
         # outside the lock, so distinct keys synthesize concurrently.
         try:
-            value = np.asarray(factory())
+            value = None
+            if self.store is not None:
+                value = self.store.load(key)
+            if value is not None:
+                with self._lock:
+                    self.disk_hits += 1
+            else:
+                value = np.asarray(factory())
+                with self._lock:
+                    self.syntheses += 1
+                if self.store is not None:
+                    self.store.save(key, value)
             value.setflags(write=False)
             with self._lock:
                 self._store[key] = value
@@ -87,10 +111,13 @@ class AmbientCache:
             pending.set()
 
     def clear(self) -> None:
+        """Reset the in-memory store and counters (disk spill stays)."""
         with self._lock:
             self._store.clear()
             self.hits = 0
             self.misses = 0
+            self.disk_hits = 0
+            self.syntheses = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -99,19 +126,36 @@ class AmbientCache:
     @property
     def stats(self) -> dict:
         with self._lock:
-            return {"hits": self.hits, "misses": self.misses, "items": len(self._store)}
+            counters = {
+                "hits": self.hits,
+                "misses": self.misses,
+                "items": len(self._store),
+            }
+            if self.store is not None:
+                counters["disk_hits"] = self.disk_hits
+                counters["syntheses"] = self.syntheses
+            return counters
 
 
 _DEFAULT_CACHE: Optional[AmbientCache] = None
+_DEFAULT_CACHE_DIR: Optional[str] = None
 _DEFAULT_CACHE_LOCK = threading.Lock()
 
 
 def default_cache() -> AmbientCache:
-    """Process-wide cache shared by runners that don't bring their own."""
-    global _DEFAULT_CACHE
+    """Process-wide cache shared by runners that don't bring their own.
+
+    Honors ``REPRO_CACHE_DIR``: when set, the cache spills to (and warms
+    from) that directory; a change to the variable swaps in a fresh cache
+    bound to the new directory.
+    """
+    global _DEFAULT_CACHE, _DEFAULT_CACHE_DIR
     with _DEFAULT_CACHE_LOCK:
-        if _DEFAULT_CACHE is None:
-            _DEFAULT_CACHE = AmbientCache()
+        directory = os.environ.get(CACHE_DIR_ENV_VAR, "").strip() or None
+        if _DEFAULT_CACHE is None or directory != _DEFAULT_CACHE_DIR:
+            store = CacheStore(directory) if directory else None
+            _DEFAULT_CACHE = AmbientCache(store=store)
+            _DEFAULT_CACHE_DIR = directory
         return _DEFAULT_CACHE
 
 
@@ -194,6 +238,23 @@ class CachedAmbient:
             key, lambda: fm_modulate(self.mpx(program, stereo, duration_s), self.mpx_rate)
         )
 
+    def composite_key(self, front_end, payload_audio: np.ndarray) -> tuple:
+        """The deterministic cache key of a (front end, payload) composite.
+
+        Exposed so sweep backends can warm a persistent
+        :class:`~repro.engine.store.CacheStore` with exactly the entries
+        their workers will ask for.
+        """
+        duration_s = payload_audio.size / self.audio_rate
+        return (
+            "comp_iq",
+            self.master_seed,
+            self.variant,
+            front_end.front_end_key(),
+            self._duration_key(duration_s),
+            payload_fingerprint(payload_audio),
+        )
+
     def modulated_composite(self, chain, payload_audio: np.ndarray) -> np.ndarray:
         """FM-modulated composite carrier for (chain front end, payload).
 
@@ -201,16 +262,12 @@ class CachedAmbient:
         FM modulation — depends only on the chain's program/mode/amplitude
         configuration and the payload, *not* on power, distance, fading or
         receiver, so a whole link-budget grid shares one synthesis.
+        ``chain`` may be a full :class:`~repro.experiments.common.ExperimentChain`
+        or just its :class:`~repro.experiments.common.FrontEndStage` —
+        both expose the same front-end surface.
         """
         duration_s = payload_audio.size / self.audio_rate
-        key = (
-            "comp_iq",
-            self.master_seed,
-            self.variant,
-            chain.front_end_key(),
-            self._duration_key(duration_s),
-            payload_fingerprint(payload_audio),
-        )
+        key = self.composite_key(chain, payload_audio)
 
         def factory() -> np.ndarray:
             ambient = self.mpx(chain.program, chain.station_stereo, duration_s)

@@ -63,12 +63,17 @@ class SweepResult:
         points: the grid points, ``spec.points()`` order.
         values: ``measure``'s return value for each point, same order.
         elapsed_s: wall-clock execution time of the grid.
-        n_workers: worker threads used (1 == serial).
+        n_workers: pool workers used (1 == serial / batched).
         cache_stats: ambient-cache counters for this run (``hits`` /
-            ``misses`` / ``items``), or ``None`` when caching was off.
+            ``misses`` / ``items``, plus ``disk_hits`` / ``syntheses``
+            when a persistent store is attached), or ``None`` when
+            caching was off.
         data: the shared dict returned by the scenario's ``prepare``
             (payload bits, reference audio, ...), for post-grid steps
             like MRC combining or BER scoring.
+        backend: which execution backend ran the grid; the batched
+            backend reports how many points it vectorized, e.g.
+            ``"batched[40/40]"``.
     """
 
     spec: SweepSpec
@@ -78,6 +83,7 @@ class SweepResult:
     n_workers: int = 1
     cache_stats: Optional[Dict[str, int]] = None
     data: Dict[str, object] = field(default_factory=dict)
+    backend: str = "serial"
 
     def __len__(self) -> int:
         return len(self.values)

@@ -1,4 +1,4 @@
-"""Sweep execution: serial or thread-parallel, always seed-stable.
+"""Sweep execution: serial, thread, process or batched — always seed-stable.
 
 :class:`SweepRunner` turns a declarative
 :class:`~repro.engine.scenario.Scenario` into results:
@@ -10,19 +10,33 @@
    via :func:`~repro.utils.rand.child_generator` — and mixed with the
    scenario's per-point keys through the pure
    :func:`~repro.utils.rand.derive_seed`. Every point's stream is
-   therefore fixed before execution starts, so serial and parallel runs
-   are bit-identical, and identical to the hand-rolled loops they
+   therefore fixed before execution starts, so all backends are
+   bit-identical to the serial loop and to the hand-rolled loops they
    replaced.
-3. Points execute through a thread pool (``max_workers > 1``) or a plain
-   loop. Threads, not processes: the heavy lifting is NumPy/SciPy FFT
-   work that releases the GIL, and scenarios close over unpicklable
-   callables.
+3. The selected backend executes the points:
+
+   - ``serial`` — a plain loop (the reference semantics).
+   - ``thread`` — a thread pool; right when the heavy lifting is
+     NumPy/SciPy FFT work that releases the GIL.
+   - ``process`` — a :class:`concurrent.futures.ProcessPoolExecutor`
+     over the picklable point specs, for GIL-bound measures; requires
+     the scenario's declarative (spec) form. The parent warms a shared
+     disk store so workers skip ambient synthesis.
+   - ``batched`` — groups points sharing one front end and runs the
+     link + mono receive math vectorized over a ``(points, samples)``
+     stack; unsupported points transparently fall back to serial.
+
+Select with the ``backend`` argument or the ``REPRO_SWEEP_BACKEND``
+environment variable; worker counts come from ``max_workers`` /
+``REPRO_SWEEP_WORKERS``.
 
 Ambient caching: when the scenario opts in (the default), every point
 receives a :class:`~repro.engine.cache.CachedAmbient` view keyed by a
 run-level master seed, so a whole grid synthesizes each ambient program
 (and its FM-modulated composite) exactly once — the paper's own
 methodology of replaying one recorded station clip at every grid point.
+With ``REPRO_CACHE_DIR`` set, syntheses additionally spill to disk and
+survive the process.
 """
 
 from __future__ import annotations
@@ -32,16 +46,21 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional
 
-import numpy as np
-
-from repro.engine.cache import AmbientCache, CachedAmbient, default_cache
+from repro.engine.cache import AmbientCache, default_cache
+from repro.engine.execution import execute_point
 from repro.engine.results import SweepResult
-from repro.engine.scenario import GridPoint, PointRun, Scenario
+from repro.engine.scenario import Scenario
 from repro.errors import ConfigurationError
 from repro.utils.rand import RngLike, as_generator, derive_seed
 
 WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
 """Environment override for the default worker count (1 == serial)."""
+
+BACKEND_ENV_VAR = "REPRO_SWEEP_BACKEND"
+"""Environment override for the execution backend."""
+
+BACKENDS = ("serial", "thread", "process", "batched")
+"""Recognized sweep backends."""
 
 
 def default_max_workers() -> int:
@@ -57,6 +76,18 @@ def default_max_workers() -> int:
     return 1
 
 
+def default_backend() -> Optional[str]:
+    """Backend named by ``REPRO_SWEEP_BACKEND`` (``None`` when unset)."""
+    raw = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+    if not raw:
+        return None
+    if raw not in BACKENDS:
+        raise ConfigurationError(
+            f"{BACKEND_ENV_VAR} must be one of {BACKENDS}, got {raw!r}"
+        )
+    return raw
+
+
 class SweepRunner:
     """Executes one :class:`Scenario` over its grid.
 
@@ -66,9 +97,14 @@ class SweepRunner:
             figure ``run()`` functions, passed straight through).
         cache: ambient cache to share; defaults to the process-wide one,
             so repeated runs with the same seed hit instead of refill.
-        max_workers: grid-point concurrency; ``None`` reads
-            ``REPRO_SWEEP_WORKERS`` (default 1, the deterministic serial
-            fallback — results are identical at any worker count).
+        max_workers: grid-point concurrency for the thread/process
+            backends; ``None`` reads ``REPRO_SWEEP_WORKERS``, and when
+            that is unset too, pool backends size themselves to the
+            machine. Results are identical at any worker count.
+        backend: one of :data:`BACKENDS`; ``None`` reads
+            ``REPRO_SWEEP_BACKEND`` and finally falls back to ``thread``
+            when ``max_workers > 1`` else ``serial`` (the pre-backend
+            behavior of ``REPRO_SWEEP_WORKERS``).
     """
 
     def __init__(
@@ -77,11 +113,35 @@ class SweepRunner:
         rng: RngLike = None,
         cache: Optional[AmbientCache] = None,
         max_workers: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.scenario = scenario
         self.rng = rng
         self.cache = cache
+        self._explicit_workers = max_workers is not None
         self.max_workers = default_max_workers() if max_workers is None else max(1, int(max_workers))
+        if backend is not None and backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        if backend is None:
+            backend = default_backend()
+        if backend is None:
+            backend = "thread" if self.max_workers > 1 else "serial"
+        self.backend = backend
+
+    def _pool_workers(self) -> int:
+        """Worker count for the thread/process pools.
+
+        An explicit ``max_workers`` or ``REPRO_SWEEP_WORKERS`` wins; a
+        pool backend chosen without either sizes itself to the machine
+        (results never depend on the count).
+        """
+        if self.max_workers > 1 or self._explicit_workers:
+            return self.max_workers
+        if os.environ.get(WORKERS_ENV_VAR, "").strip():
+            return self.max_workers
+        return min(8, os.cpu_count() or 1)
 
     def run(self) -> SweepResult:
         scenario = self.scenario
@@ -97,6 +157,10 @@ class SweepRunner:
         # child_generator, so refactored figures reproduce their old
         # per-point noise streams bit for bit.
         masters = [int(gen.integers(0, 2 ** 31)) for _ in points]
+        seeds = [
+            derive_seed(masters[i], *scenario.point_rng_keys(point))
+            for i, point in enumerate(points)
+        ]
 
         cache: Optional[AmbientCache] = None
         ambient_master = 0
@@ -108,50 +172,62 @@ class SweepRunner:
             ambient_master = int(gen.integers(0, 2 ** 63))
         stats_before = cache.stats if cache is not None else None
 
-        def run_point(index: int, point: GridPoint) -> object:
-            point_rng = np.random.default_rng(
-                derive_seed(masters[index], *scenario.point_rng_keys(point))
-            )
-            ambient = None
-            if cache is not None:
-                ambient = CachedAmbient(cache, ambient_master)
-                if scenario.ambient_variant is not None:
-                    ambient = ambient.with_variant(scenario.ambient_variant(point))
-            chain = None
-            if scenario.uses_chain:
-                # Imported here: repro.experiments.common is a consumer of
-                # the engine package in every other respect.
-                from repro.experiments.common import ExperimentChain
-
-                chain = ExperimentChain(**scenario.chain_kwargs(point))
-                chain.ambient_source = ambient
-            run = PointRun(point=point, rng=point_rng, data=data, ambient=ambient, chain=chain)
-            return scenario.measure(run)
-
+        backend_label = self.backend
+        n_workers = 1
         start = time.perf_counter()
-        if self.max_workers == 1 or len(points) <= 1:
-            values: List[object] = [run_point(i, p) for i, p in enumerate(points)]
-        else:
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                values = list(pool.map(run_point, range(len(points)), points))
+        if self.backend == "serial" or len(points) <= 1:
+            # Pools and stacking buy nothing on a <=1-point grid; the
+            # label records what actually executed.
+            backend_label = "serial"
+            values: List[object] = [
+                execute_point(scenario, point, seeds[i], data, cache, ambient_master)
+                for i, point in enumerate(points)
+            ]
+        elif self.backend == "thread":
+            n_workers = self._pool_workers()
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                values = list(
+                    pool.map(
+                        lambda args: execute_point(
+                            scenario, args[1], seeds[args[0]], data, cache, ambient_master
+                        ),
+                        enumerate(points),
+                    )
+                )
+        elif self.backend == "process":
+            from repro.engine.process_backend import run_process_backend
+
+            n_workers = self._pool_workers()
+            values = run_process_backend(
+                scenario, data, points, seeds, cache, ambient_master, n_workers
+            )
+        else:  # batched
+            from repro.engine.batch_backend import run_batched_backend
+
+            values, n_batched = run_batched_backend(
+                scenario, data, points, seeds, cache, ambient_master
+            )
+            backend_label = f"batched[{n_batched}/{len(points)}]"
         elapsed = time.perf_counter() - start
 
         cache_stats = None
         if cache is not None and stats_before is not None:
             after = cache.stats
             cache_stats = {
-                "hits": after["hits"] - stats_before["hits"],
-                "misses": after["misses"] - stats_before["misses"],
-                "items": after["items"],
+                key: after[key] - stats_before.get(key, 0)
+                for key in after
+                if key != "items"
             }
+            cache_stats["items"] = after["items"]
         return SweepResult(
             spec=scenario.sweep,
             points=points,
             values=values,
             elapsed_s=elapsed,
-            n_workers=self.max_workers,
+            n_workers=n_workers if self.backend != "serial" else 1,
             cache_stats=cache_stats,
             data=data,
+            backend=backend_label,
         )
 
 
@@ -160,6 +236,9 @@ def run_scenario(
     rng: RngLike = None,
     cache: Optional[AmbientCache] = None,
     max_workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> SweepResult:
     """One-call convenience wrapper around :class:`SweepRunner`."""
-    return SweepRunner(scenario, rng=rng, cache=cache, max_workers=max_workers).run()
+    return SweepRunner(
+        scenario, rng=rng, cache=cache, max_workers=max_workers, backend=backend
+    ).run()

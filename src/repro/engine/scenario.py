@@ -15,9 +15,11 @@ bit-identical results.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+import pickle
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -123,6 +125,10 @@ class PointRun:
             ``ambient.with_variant(...)``.
         chain: the pre-built :class:`~repro.experiments.common.ExperimentChain`
             for scenarios that declare ``chain_params`` (``None`` otherwise).
+        received: the chain's decoded output for scenarios that declare a
+            ``payload`` — the runner performs the transmission itself (so
+            backends can batch or ship it) and the measure only scores.
+            ``None`` when the scenario transmits inside ``measure``.
     """
 
     point: GridPoint
@@ -130,6 +136,50 @@ class PointRun:
     data: Dict[str, object]
     ambient: Optional[object] = None
     chain: Optional[object] = None
+    received: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class AxisRef:
+    """Declarative reference to an axis value, resolved per grid point.
+
+    The spec-based counterpart of ``lambda p: p[name]``: templates built
+    from :class:`AxisRef` and literals are plain data, so a scenario
+    using them pickles cleanly into process-pool workers.
+    """
+
+    name: str
+
+
+def resolve_template(
+    template: Sequence[object], point: GridPoint
+) -> Tuple[object, ...]:
+    """Substitute every :class:`AxisRef` in ``template`` with the point's value."""
+    return tuple(
+        point[item.name] if isinstance(item, AxisRef) else item for item in template
+    )
+
+
+@dataclass(frozen=True)
+class PayloadSelector:
+    """Per-point payload lookup: an axis value chooses the data key.
+
+    E.g. Fig. 14 transmits a tone on its ``snr`` panel and speech on its
+    ``pesq`` panel: ``PayloadSelector("panel", {"snr": "tone", "pesq":
+    "speech"})``.
+    """
+
+    axis: str
+    keys: Mapping[object, str]
+
+    def key_for(self, point: GridPoint) -> str:
+        value = point[self.axis]
+        try:
+            return self.keys[value]
+        except KeyError:
+            raise ConfigurationError(
+                f"payload selector has no data key for {self.axis}={value!r}"
+            ) from None
 
 
 def _default_rng_keys(scenario: "Scenario", point: GridPoint) -> Tuple[object, ...]:
@@ -140,51 +190,165 @@ def _default_rng_keys(scenario: "Scenario", point: GridPoint) -> Tuple[object, .
 class Scenario:
     """Declarative description of one experiment sweep.
 
+    Two styles coexist. The original *callable* style (``chain_params`` /
+    ``rng_keys`` / ``ambient_variant`` as lambdas) is concise but closes
+    over local state, so such scenarios can only run in-process. The
+    *spec* style expresses the same per-point wiring as plain data —
+    ``chain_axes`` / ``chain_value_params`` for chain kwargs,
+    :class:`AxisRef` templates for RNG keys and variants, a module-level
+    ``measure`` with ``measure_params``, and a ``payload`` key — which
+    makes the scenario picklable, so grid points can be shipped to
+    process-pool workers or regrouped by the batched backend.
+
     Attributes:
         name: scenario label (also the default RNG key prefix).
         sweep: the parameter grid.
-        measure: per-point measurement, ``measure(run: PointRun) -> value``.
+        measure: per-point measurement, called as
+            ``measure(run, **measure_params)``. For process execution it
+            must be a module-level function (picklable by reference).
         prepare: optional setup run once before the grid, receiving the
             sweep generator; returns the shared ``data`` dict (payload
             bits, reference audio, ...). Draws from the generator here
             happen *before* per-point derivation, exactly like the
-            preamble of the legacy loops.
+            preamble of the legacy loops. Runs only in the parent
+            process; it may be (and usually is) a closure.
         base_chain: common :class:`ExperimentChain` kwargs; ``None`` means
             the scenario does not use runner-built chains.
-        chain_params: per-point chain kwargs merged over ``base_chain``.
+        chain_params: per-point chain kwargs merged over ``base_chain``
+            (callable style).
         rng_keys: per-point key tuple fed to
             :func:`repro.utils.rand.child_generator`; defaults to
-            ``(name, *point.values)``. Figure modules override this to
+            ``(name, *point.values)``. Either a callable or an
+            :class:`AxisRef` template tuple. Figure modules set this to
             reproduce their legacy derivations.
         ambient_variant: optional per-point cache-key variant so selected
             points (e.g. MRC repetitions) get independent ambient program
-            audio instead of sharing one synthesis.
+            audio instead of sharing one synthesis. A callable, a single
+            :class:`AxisRef`, or a template tuple.
         cache_ambient: share ambient MPX / modulated carriers across grid
             points through the runner's cache (the legacy loops
             resynthesized per point).
+        measure_params: extra keyword arguments for ``measure`` (modems,
+            tone frequencies, ...); must be picklable for process
+            execution.
+        chain_axes: axis names copied verbatim into the chain kwargs
+            (spec-style replacement for the common
+            ``lambda p: {"power_dbm": p["power_dbm"], ...}``).
+        chain_value_params: ``{axis: {value: {kwarg: value}}}`` — chain
+            kwargs switched by an axis value (receiver band, backscatter
+            mode, panel program, ...), merged after ``chain_axes``.
+        payload: the transmission the runner performs *for* the measure:
+            a ``data`` key (or per-point :class:`PayloadSelector`) naming
+            the waveform to send through the point's chain. The decoded
+            output arrives as ``run.received``. Declaring it is what lets
+            the batched backend stack points sharing a front end into one
+            vectorized link + receive pass.
     """
 
     name: str
     sweep: SweepSpec
-    measure: Callable[[PointRun], object]
+    measure: Callable[..., object]
     prepare: Optional[Callable[[np.random.Generator], Dict[str, object]]] = None
     base_chain: Optional[Dict[str, object]] = None
     chain_params: Optional[Callable[[GridPoint], Dict[str, object]]] = None
-    rng_keys: Optional[Callable[[GridPoint], Tuple[object, ...]]] = None
-    ambient_variant: Optional[Callable[[GridPoint], object]] = None
+    rng_keys: Optional[
+        Union[Callable[[GridPoint], Tuple[object, ...]], Tuple[object, ...]]
+    ] = None
+    ambient_variant: Optional[
+        Union[Callable[[GridPoint], object], AxisRef, Tuple[object, ...]]
+    ] = None
     cache_ambient: bool = True
+    measure_params: Dict[str, object] = field(default_factory=dict)
+    chain_axes: Tuple[str, ...] = ()
+    chain_value_params: Mapping[str, Mapping[object, Mapping[str, object]]] = field(
+        default_factory=dict
+    )
+    payload: Optional[Union[str, PayloadSelector]] = None
 
     def point_rng_keys(self, point: GridPoint) -> Tuple[object, ...]:
-        if self.rng_keys is not None:
+        if callable(self.rng_keys):
             return tuple(self.rng_keys(point))
+        if self.rng_keys is not None:
+            return resolve_template(self.rng_keys, point)
         return _default_rng_keys(self, point)
+
+    def variant_for(self, point: GridPoint) -> object:
+        """The point's ambient-variant value (``ambient_variant`` resolved)."""
+        spec = self.ambient_variant
+        if isinstance(spec, AxisRef):
+            return point[spec.name]
+        if callable(spec):
+            return spec(point)
+        if spec is not None:
+            return resolve_template(spec, point)
+        return None
 
     @property
     def uses_chain(self) -> bool:
-        return self.base_chain is not None or self.chain_params is not None
+        return (
+            self.base_chain is not None
+            or self.chain_params is not None
+            or bool(self.chain_axes)
+            or bool(self.chain_value_params)
+        )
 
     def chain_kwargs(self, point: GridPoint) -> Dict[str, object]:
         kwargs: Dict[str, object] = dict(self.base_chain or {})
+        for axis in self.chain_axes:
+            kwargs[axis] = point[axis]
+        for axis, table in self.chain_value_params.items():
+            value = point[axis]
+            try:
+                kwargs.update(table[value])
+            except KeyError:
+                raise ConfigurationError(
+                    f"chain_value_params[{axis!r}] has no entry for {value!r}"
+                ) from None
         if self.chain_params is not None:
             kwargs.update(self.chain_params(point))
         return kwargs
+
+    def payload_for(
+        self, point: GridPoint, data: Mapping[str, object]
+    ) -> Optional[np.ndarray]:
+        """The waveform the runner should transmit for this point, if any."""
+        if self.payload is None:
+            return None
+        key = (
+            self.payload
+            if isinstance(self.payload, str)
+            else self.payload.key_for(point)
+        )
+        try:
+            return data[key]
+        except KeyError:
+            raise ConfigurationError(
+                f"scenario {self.name!r} declares payload {key!r} but prepare() "
+                f"returned keys {sorted(data)}"
+            ) from None
+
+    def shippable(self) -> "Scenario":
+        """A copy suitable for crossing a process boundary.
+
+        ``prepare`` runs only in the parent (its output ``data`` travels
+        separately), so it is dropped; everything else must pickle.
+        """
+        return dataclasses.replace(self, prepare=None)
+
+    def require_picklable(self) -> bytes:
+        """Pickle the shippable form, or explain what to migrate.
+
+        Returns the pickle so callers dispatching to worker processes can
+        ship exactly what was validated.
+        """
+        try:
+            return pickle.dumps(self.shippable())
+        except Exception as exc:
+            raise ConfigurationError(
+                f"scenario {self.name!r} cannot be shipped to worker processes "
+                f"({exc}); replace closures with the declarative spec form — "
+                "chain_axes/chain_value_params for chain kwargs, AxisRef "
+                "templates for rng_keys/ambient_variant, and a module-level "
+                "measure with measure_params — or run with the serial/thread "
+                "backend"
+            ) from None

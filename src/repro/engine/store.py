@@ -1,0 +1,104 @@
+"""Persistent on-disk spill store for synthesized waveforms.
+
+:class:`CacheStore` maps the :class:`~repro.engine.cache.AmbientCache`'s
+fully-deterministic key tuples onto ``.npz`` files, so synthesized MPX /
+modulated carriers survive the process: repeated benchmark runs, sweep
+process-pool workers and (future) sweep shards all read the same bytes
+back instead of resynthesizing. Keys are tuples of primitives whose
+``repr`` is stable across interpreter runs (no ``hash()`` salting), so
+the same configuration always lands on the same file.
+
+Writes go through a temp file plus :func:`os.replace`, which is atomic on
+POSIX — concurrent workers racing to fill the same key at worst duplicate
+the synthesis, never corrupt the file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import zipfile
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+"""Environment variable enabling disk spill for the default ambient cache."""
+
+
+def stable_key_digest(key: tuple) -> str:
+    """Deterministic hex digest of a cache key tuple.
+
+    Keys are built from primitives (ints, floats, bools, strings, None,
+    nested tuples of the same), whose ``repr`` is stable across processes
+    — unlike ``hash()``, which Python salts per interpreter run.
+    """
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+class CacheStore:
+    """A directory of ``.npz`` files keyed by deterministic tuples.
+
+    Args:
+        directory: spill directory; created on first use.
+    """
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: tuple) -> Path:
+        """The file that does (or would) hold ``key``'s array."""
+        return self.directory / f"{stable_key_digest(key)}.npz"
+
+    def load(self, key: tuple) -> Optional[np.ndarray]:
+        """Read the array stored for ``key``, or ``None`` when absent.
+
+        A corrupt or truncated file (e.g. a machine lost power mid-write
+        before the atomic rename ever happened) reads as a miss, so the
+        caller falls back to synthesis rather than crashing.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                stored_key = str(archive["key"])
+                if stored_key != repr(key):
+                    # A digest collision is astronomically unlikely; treat
+                    # it as a miss instead of returning the wrong waveform.
+                    return None
+                return archive["value"]
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile, EOFError):
+            return None
+
+    def save(self, key: tuple, value: np.ndarray) -> Path:
+        """Atomically persist ``value`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.stem, suffix=".tmp.npz", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, value=np.asarray(value), key=np.asarray(repr(key)))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.npz") if ".tmp." not in _.name)
+
+    def clear(self) -> None:
+        """Delete every spilled entry (used by tests and benchmarks)."""
+        for path in self.directory.glob("*.npz"):
+            try:
+                path.unlink()
+            except OSError:
+                pass

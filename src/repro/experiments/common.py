@@ -9,12 +9,23 @@ The multiplication-to-addition identity (validated against true square-
 wave mixing in the test suite) lets the chain build the composite MPX
 directly: the receiver tuned to ``fc + fback`` demodulates
 ``FMaudio + FMback`` plus RF noise set by the link budget.
+
+The chain is a *staged link pipeline*: :class:`FrontEndStage` (station
+MPX + device baseband + FM composite), :class:`LinkStage` (budget,
+fading, noise) and :class:`ReceiveStage` (demod + audio) are picklable
+dataclass configs, each with a pure ``apply(state, rng)`` that advances
+a :class:`ChainState`. :class:`ExperimentChain` is the user-facing bundle
+that derives the three stages and the per-stage child generators; the
+sweep engine's process backend ships stage configs across process
+boundaries, and its batched backend re-groups them (one shared front
+end, vectorized link + receive) without re-deriving any of the physics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+import numbers
+from dataclasses import dataclass, field, replace
+from typing import Optional, Protocol, Tuple
 
 import numpy as np
 
@@ -22,7 +33,7 @@ from repro.backscatter.dco import CapacitorBankDco
 from repro.backscatter.device import BackscatterDevice, BackscatterMode
 from repro.backscatter.modulator import composite_mpx
 from repro.channel.antenna import Antenna, CAR_WHIP, DIPOLE_POSTER, HEADPHONE_WIRE
-from repro.channel.link import BackscatterLink, LinkBudget
+from repro.channel.link import BackscatterLink, FadingModel, LinkBudget
 from repro.constants import AUDIO_RATE_HZ, MPX_RATE_HZ
 from repro.data.ber import bit_error_rate
 from repro.errors import ConfigurationError
@@ -32,6 +43,160 @@ from repro.receiver.car import CarReceiver
 from repro.receiver.fm_receiver import FMReceiver, ReceivedAudio
 from repro.receiver.smartphone import SmartphoneReceiver
 from repro.utils.rand import RngLike, as_generator, child_generator
+
+
+class AmbientSource(Protocol):
+    """Provider of pre-synthesized ambient-station material.
+
+    Implemented by :class:`repro.engine.cache.CachedAmbient`. The front
+    end hands it either itself (a :class:`FrontEndStage`) or a full
+    :class:`ExperimentChain` — both expose the same front-end surface
+    (``program`` / ``station_stereo`` / ``front_end_key()`` /
+    ``modulate_with_ambient``).
+    """
+
+    def modulated_composite(
+        self, front_end: "FrontEndStage", payload_audio: np.ndarray
+    ) -> np.ndarray:
+        """FM-modulated composite carrier for (front end, payload)."""
+        ...
+
+
+@dataclass(frozen=True)
+class ChainState:
+    """The value threaded through the staged link pipeline.
+
+    Each stage's ``apply`` consumes the fields filled by the previous
+    stage and returns a new state with its own output attached, so a
+    partially-applied pipeline (e.g. the batched backend replacing the
+    link + receive stages with vectorized equivalents) is just a state
+    with the remaining fields still ``None``.
+
+    Attributes:
+        payload_audio: the device payload at the audio rate (input).
+        iq: FM-modulated composite envelope (after the front end).
+        rx_iq: faded / noise-corrupted envelope (after the link).
+        received: decoded receiver output (after the receive stage).
+    """
+
+    payload_audio: np.ndarray
+    iq: Optional[np.ndarray] = None
+    rx_iq: Optional[np.ndarray] = None
+    received: Optional[ReceivedAudio] = None
+
+
+@dataclass(frozen=True)
+class FrontEndStage:
+    """Station program + device baseband + composite FM modulation.
+
+    A picklable value object: everything the transmit front end depends
+    on — and nothing downstream (power, distance, fading, receiver), so
+    a whole link-budget grid shares one front-end synthesis keyed by
+    :meth:`front_end_key`.
+    """
+
+    program: str = "news"
+    station_stereo: bool = True
+    mode: BackscatterMode = BackscatterMode.OVERLAY
+    back_amplitude: float = 1.0
+    dco_bits: Optional[int] = None
+
+    def front_end_key(self) -> Tuple[object, ...]:
+        """Cache key of everything this front end's output depends on."""
+        return (
+            self.program,
+            bool(self.station_stereo),
+            self.mode.value,
+            float(self.back_amplitude),
+            self.dco_bits,
+        )
+
+    def device_baseband(self, payload_audio: np.ndarray) -> np.ndarray:
+        """Render the device-side baseband ``FMback`` for one payload."""
+        device = BackscatterDevice(mode=self.mode)
+        back_mpx = self.back_amplitude * device.baseband(payload_audio)
+        if self.dco_bits is not None:
+            back_mpx = CapacitorBankDco(n_bits=self.dco_bits).quantize_baseband(back_mpx)
+        return back_mpx
+
+    def modulate_with_ambient(
+        self, ambient_mpx: np.ndarray, payload_audio: np.ndarray
+    ) -> np.ndarray:
+        """FM-modulated composite of an ambient MPX plus the payload."""
+        comp = composite_mpx(ambient_mpx, self.device_baseband(payload_audio))
+        return fm_modulate(comp, MPX_RATE_HZ)
+
+    def apply(
+        self,
+        state: ChainState,
+        rng: RngLike = None,
+        ambient: Optional[AmbientSource] = None,
+    ) -> ChainState:
+        """Synthesize (or fetch) the composite envelope for the payload.
+
+        Args:
+            state: pipeline state carrying ``payload_audio``.
+            rng: the station child generator (used only when synthesizing;
+                a cached ambient source replaces the synthesis entirely,
+                and the caller derives the child either way so downstream
+                draws stay aligned).
+            ambient: optional :class:`AmbientSource`; when set, the
+                composite comes from its cache — synthesized once per
+                sweep — instead of being rebuilt per call.
+        """
+        payload = state.payload_audio
+        if ambient is not None:
+            iq = ambient.modulated_composite(self, payload)
+        else:
+            duration_s = payload.size / AUDIO_RATE_HZ
+            station = FMStation(
+                StationConfig(program=self.program, stereo=self.station_stereo),
+                rng=rng,
+            )
+            iq = self.modulate_with_ambient(station.mpx(duration_s), payload)
+        return replace(state, iq=iq)
+
+
+@dataclass(frozen=True)
+class LinkStage:
+    """Link budget + optional fading + AWGN at the budget's RF SNR."""
+
+    budget: LinkBudget
+    fading: Optional[FadingModel] = None
+
+    def apply(self, state: ChainState, rng: RngLike = None) -> ChainState:
+        """Pass the composite envelope through the physical channel."""
+        link = BackscatterLink(self.budget, fading=self.fading)
+        rx_iq = link.transmit(state.iq, MPX_RATE_HZ, rng=rng)
+        return replace(state, rx_iq=rx_iq)
+
+
+@dataclass(frozen=True)
+class ReceiveStage:
+    """Receiver selection + demodulation + audio decoding."""
+
+    receiver_kind: str = "smartphone"
+    stereo_decode: bool = True
+    agc: bool = False
+
+    def build_receiver(self, rng: RngLike = None) -> FMReceiver:
+        """Construct the configured receiver with its child generator.
+
+        Consumes one draw from ``rng`` (the chain generator) to derive
+        the receiver's noise stream — the same draw the monolithic chain
+        always made, which keeps stage-wise and end-to-end runs
+        bit-identical.
+        """
+        if self.receiver_kind == "car":
+            return CarReceiver(rng=child_generator(rng, "car"))
+        rx = SmartphoneReceiver(agc_enabled=self.agc, rng=child_generator(rng, "phone"))
+        rx.stereo_capable = self.stereo_decode
+        return rx
+
+    def apply(self, state: ChainState, rng: RngLike = None) -> ChainState:
+        """Demodulate and decode the received envelope into audio."""
+        receiver = self.build_receiver(rng)
+        return replace(state, received=receiver.receive(state.rx_iq))
 
 
 @dataclass
@@ -72,27 +237,45 @@ class ExperimentChain:
     distance_ft: float = 4.0
     receiver_kind: str = "smartphone"
     back_amplitude: float = 1.0
-    fading: object = None
+    fading: Optional[FadingModel] = None
     stereo_decode: bool = True
     agc: bool = False
     device_antenna: Antenna = field(default_factory=lambda: DIPOLE_POSTER)
     dco_bits: Optional[int] = None
-    ambient_source: object = None
+    ambient_source: Optional[AmbientSource] = None
 
     def __post_init__(self) -> None:
         if self.receiver_kind not in ("smartphone", "car"):
             raise ConfigurationError("receiver_kind must be 'smartphone' or 'car'")
         if not 0.0 < self.back_amplitude <= 1.0:
             raise ConfigurationError("back_amplitude must be in (0, 1]")
+        if not isinstance(self.power_dbm, numbers.Real) or not np.isfinite(self.power_dbm):
+            raise ConfigurationError(
+                f"power_dbm must be a finite number, got {self.power_dbm!r}"
+            )
+        if (
+            not isinstance(self.distance_ft, numbers.Real)
+            or not np.isfinite(self.distance_ft)
+            or self.distance_ft <= 0
+        ):
+            raise ConfigurationError(
+                f"distance_ft must be positive, got {self.distance_ft!r}"
+            )
 
-    def _receiver(self, rng) -> FMReceiver:
-        if self.receiver_kind == "car":
-            return CarReceiver(rng=child_generator(rng, "car"))
-        rx = SmartphoneReceiver(agc_enabled=self.agc, rng=child_generator(rng, "phone"))
-        rx.stereo_capable = self.stereo_decode
-        return rx
+    # -- stage derivation --------------------------------------------------
 
-    def _budget(self) -> LinkBudget:
+    def front_end(self) -> FrontEndStage:
+        """The picklable front-end stage this chain configures."""
+        return FrontEndStage(
+            program=self.program,
+            station_stereo=self.station_stereo,
+            mode=self.mode,
+            back_amplitude=self.back_amplitude,
+            dco_bits=self.dco_bits,
+        )
+
+    def link_budget(self) -> LinkBudget:
+        """The link budget for this chain's power/distance/receiver."""
         if self.receiver_kind == "car":
             # Car front ends are better on every axis (section 5.4):
             # matched whip antenna, lower noise floor, sharper IF filters.
@@ -111,9 +294,23 @@ class ExperimentChain:
             receiver_antenna=HEADPHONE_WIRE,
         )
 
+    def link_stage(self) -> LinkStage:
+        """The picklable link stage this chain configures."""
+        return LinkStage(budget=self.link_budget(), fading=self.fading)
+
+    def receive_stage(self) -> ReceiveStage:
+        """The picklable receive stage this chain configures."""
+        return ReceiveStage(
+            receiver_kind=self.receiver_kind,
+            stereo_decode=self.stereo_decode,
+            agc=self.agc,
+        )
+
+    # -- front-end conveniences (delegate to the stage) --------------------
+
     def rf_snr_db(self) -> float:
         """RF SNR of the backscattered channel (link-budget output)."""
-        return self._budget().rf_snr_db()
+        return self.link_budget().rf_snr_db()
 
     def front_end_key(self) -> Tuple[object, ...]:
         """Cache key of everything the transmit front end depends on.
@@ -123,33 +320,30 @@ class ExperimentChain:
         of power, distance, fading or receiver — so a whole link-budget
         grid can share one front-end synthesis.
         """
-        return (
-            self.program,
-            bool(self.station_stereo),
-            self.mode.value,
-            float(self.back_amplitude),
-            self.dco_bits,
-        )
+        return self.front_end().front_end_key()
 
     def device_baseband(self, payload_audio: np.ndarray) -> np.ndarray:
         """Render the device-side baseband ``FMback`` for one payload."""
-        device = BackscatterDevice(mode=self.mode)
-        back_mpx = self.back_amplitude * device.baseband(payload_audio)
-        if self.dco_bits is not None:
-            back_mpx = CapacitorBankDco(n_bits=self.dco_bits).quantize_baseband(back_mpx)
-        return back_mpx
+        return self.front_end().device_baseband(payload_audio)
 
     def modulate_with_ambient(
         self, ambient_mpx: np.ndarray, payload_audio: np.ndarray
     ) -> np.ndarray:
         """FM-modulated composite of an ambient MPX plus the payload."""
-        comp = composite_mpx(ambient_mpx, self.device_baseband(payload_audio))
-        return fm_modulate(comp, MPX_RATE_HZ)
+        return self.front_end().modulate_with_ambient(ambient_mpx, payload_audio)
+
+    # -- end-to-end execution ----------------------------------------------
 
     def transmit(
         self, payload_audio: np.ndarray, rng: RngLike = None
     ) -> ReceivedAudio:
         """Run one end-to-end transmission and return the received audio.
+
+        Applies the three stages in order, deriving each stage's child
+        generator from ``rng`` exactly as the monolithic chain always did
+        (station, link, then receiver), so results are bit-identical to
+        the pre-pipeline implementation and invariant to whether an
+        ambient source served the front end.
 
         Args:
             payload_audio: the device payload (audio or data waveform) at
@@ -157,26 +351,16 @@ class ExperimentChain:
             rng: seed or Generator for the stochastic stages.
         """
         gen = as_generator(rng)
-        duration_s = payload_audio.size / AUDIO_RATE_HZ
-
+        state = ChainState(payload_audio=payload_audio)
         # The station child is derived even on the cached path, keeping
         # the link/receiver draws below identical with and without an
         # ambient source.
-        station_rng = child_generator(gen, "station")
-        if self.ambient_source is not None:
-            iq = self.ambient_source.modulated_composite(self, payload_audio)
-        else:
-            station = FMStation(
-                StationConfig(program=self.program, stereo=self.station_stereo),
-                rng=station_rng,
-            )
-            iq = self.modulate_with_ambient(station.mpx(duration_s), payload_audio)
-
-        link = BackscatterLink(self._budget(), fading=self.fading)
-        rx_iq = link.transmit(iq, MPX_RATE_HZ, rng=child_generator(gen, "link"))
-
-        receiver = self._receiver(gen)
-        return receiver.receive(rx_iq)
+        state = self.front_end().apply(
+            state, child_generator(gen, "station"), ambient=self.ambient_source
+        )
+        state = self.link_stage().apply(state, child_generator(gen, "link"))
+        state = self.receive_stage().apply(state, gen)
+        return state.received
 
     def payload_channel(self, received: ReceivedAudio) -> np.ndarray:
         """The audio stream carrying the payload for this chain's mode.

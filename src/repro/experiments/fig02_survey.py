@@ -11,9 +11,17 @@ from typing import Dict
 
 import numpy as np
 
-from repro.engine import Scenario, SweepSpec, run_scenario
+from repro.engine import AxisRef, Scenario, SweepSpec, run_scenario
 from repro.survey.drivetest import CitySurvey, diurnal_power_series
 from repro.utils.rand import RngLike
+
+
+def measure_survey_panel(run):
+    """One Fig. 2 panel: the city CDF or the 24 h diurnal trace
+    (module-level, picklable)."""
+    if run.point["panel"] == "city":
+        return CitySurvey().run(run.rng)
+    return diurnal_power_series(rng=run.rng)
 
 
 def run(rng: RngLike = None) -> Dict[str, object]:
@@ -25,16 +33,11 @@ def run(rng: RngLike = None) -> Dict[str, object]:
         for panel (b).
     """
 
-    def measure(run):
-        if run.point["panel"] == "city":
-            return CitySurvey().run(run.rng)
-        return diurnal_power_series(rng=run.rng)
-
     scenario = Scenario(
         name="fig02",
         sweep=SweepSpec.grid(panel=("city", "day")),
-        rng_keys=lambda p: (p["panel"],),
-        measure=measure,
+        rng_keys=(AxisRef("panel"),),
+        measure=measure_survey_panel,
         cache_ambient=False,
     )
     result = run_scenario(scenario, rng=rng)

@@ -12,10 +12,39 @@ from typing import Dict
 
 import numpy as np
 
-from repro.engine import Scenario, SweepSpec, run_scenario
+from repro.engine import AxisRef, Scenario, SweepSpec, run_scenario
 from repro.survey.occupancy import min_shift_frequencies_hz, occupancy_summary
 from repro.survey.stations import CITY_PROFILES, generate_band_plan
 from repro.utils.rand import RngLike
+
+
+def measure_city_occupancy(run):
+    """Band plan + shift statistics for one city (module-level, picklable)."""
+    name = run.point["city"]
+    profile = CITY_PROFILES[name]
+    # The no-adjacent-channel rule binds co-sited transmitters; in
+    # cities where detectable stations (including neighboring cities'
+    # signals) exceed the 50-station capacity of strict 2-channel
+    # spacing, distant stations may land adjacent to local ones.
+    separation = 2 if 2 * profile.detectable <= 100 else 1
+    plan = generate_band_plan(
+        profile.detectable,
+        run.rng,
+        min_separation_channels=separation,
+    )
+    shifts = min_shift_frequencies_hz(plan)
+    summary = occupancy_summary(plan)
+    return {
+        "licensed": profile.licensed,
+        "detectable": profile.detectable,
+        "min_shifts_khz": (shifts / 1e3).tolist(),
+        "median_shift_khz": summary["median_min_shift_hz"] / 1e3,
+        "max_shift_khz": summary["max_min_shift_hz"] / 1e3,
+        # Raw Hz for the pooled stats below (popped before the city
+        # dict is returned): pooling the kHz lists back through *1e3
+        # would round-trip the floats.
+        "_min_shifts_hz": shifts.tolist(),
+    }
 
 
 def run(rng: RngLike = None) -> Dict[str, object]:
@@ -27,38 +56,11 @@ def run(rng: RngLike = None) -> Dict[str, object]:
         ``median_shift_khz`` and ``max_shift_khz``.
     """
 
-    def measure(run):
-        name = run.point["city"]
-        profile = CITY_PROFILES[name]
-        # The no-adjacent-channel rule binds co-sited transmitters; in
-        # cities where detectable stations (including neighboring cities'
-        # signals) exceed the 50-station capacity of strict 2-channel
-        # spacing, distant stations may land adjacent to local ones.
-        separation = 2 if 2 * profile.detectable <= 100 else 1
-        plan = generate_band_plan(
-            profile.detectable,
-            run.rng,
-            min_separation_channels=separation,
-        )
-        shifts = min_shift_frequencies_hz(plan)
-        summary = occupancy_summary(plan)
-        return {
-            "licensed": profile.licensed,
-            "detectable": profile.detectable,
-            "min_shifts_khz": (shifts / 1e3).tolist(),
-            "median_shift_khz": summary["median_min_shift_hz"] / 1e3,
-            "max_shift_khz": summary["max_min_shift_hz"] / 1e3,
-            # Raw Hz for the pooled stats below (popped before the city
-            # dict is returned): pooling the kHz lists back through *1e3
-            # would round-trip the floats.
-            "_min_shifts_hz": shifts.tolist(),
-        }
-
     scenario = Scenario(
         name="fig04",
         sweep=SweepSpec.grid(city=tuple(CITY_PROFILES)),
-        rng_keys=lambda p: ("plan", p["city"]),
-        measure=measure,
+        rng_keys=("plan", AxisRef("city")),
+        measure=measure_city_occupancy,
         cache_ambient=False,
     )
     result = run_scenario(scenario, rng=rng)

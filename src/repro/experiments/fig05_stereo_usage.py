@@ -13,9 +13,24 @@ from typing import Dict
 import numpy as np
 
 from repro.audio.music import PROGRAM_TYPES
-from repro.engine import Scenario, SweepSpec, run_scenario
+from repro.engine import AxisRef, Scenario, SweepSpec, run_scenario
 from repro.survey.stereo_usage import stereo_to_noise_ratios_db
 from repro.utils.rand import RngLike
+
+
+def measure_stereo_ratios(run, n_snapshots: int, snapshot_seconds: float):
+    """Stereo-to-guard-band ratio distribution for one program format
+    (module-level, picklable)."""
+    ratios = stereo_to_noise_ratios_db(
+        run.point["program"],
+        n_snapshots=n_snapshots,
+        snapshot_seconds=snapshot_seconds,
+        rng=run.rng,
+    )
+    return {
+        "ratios_db": ratios.tolist(),
+        "median_db": float(np.median(ratios)),
+    }
 
 
 def run(
@@ -29,23 +44,15 @@ def run(
         dict keyed by program with the ratio list (dB) and its median.
     """
 
-    def measure(run):
-        ratios = stereo_to_noise_ratios_db(
-            run.point["program"],
-            n_snapshots=n_snapshots,
-            snapshot_seconds=snapshot_seconds,
-            rng=run.rng,
-        )
-        return {
-            "ratios_db": ratios.tolist(),
-            "median_db": float(np.median(ratios)),
-        }
-
     scenario = Scenario(
         name="fig05",
         sweep=SweepSpec.grid(program=tuple(PROGRAM_TYPES)),
-        rng_keys=lambda p: (p["program"],),
-        measure=measure,
+        rng_keys=(AxisRef("program"),),
+        measure=measure_stereo_ratios,
+        measure_params={
+            "n_snapshots": n_snapshots,
+            "snapshot_seconds": snapshot_seconds,
+        },
         cache_ambient=False,
     )
     result = run_scenario(scenario, rng=rng)

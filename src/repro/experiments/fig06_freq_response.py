@@ -14,7 +14,14 @@ from repro.audio.tones import tone
 from repro.backscatter.device import BackscatterMode
 from repro.constants import AUDIO_RATE_HZ
 from repro.dsp.spectrum import tone_snr_db
-from repro.engine import Scenario, SweepSpec, run_scenario
+from repro.engine import (
+    AxisRef,
+    PayloadSelector,
+    PointRun,
+    Scenario,
+    SweepSpec,
+    run_scenario,
+)
 from repro.utils.rand import RngLike
 
 DEFAULT_FREQS_HZ = (500, 1000, 2000, 4000, 6000, 8000, 10000, 12000, 13000, 14000, 15000)
@@ -32,6 +39,12 @@ _BAND_CHAINS = {
 }
 
 
+def score_tone_snr_at_point(run: PointRun) -> float:
+    """Tone SNR at the point's own frequency (module-level, picklable)."""
+    freq = run.point["freq_hz"]
+    return tone_snr_db(run.chain.payload_channel(run.received), AUDIO_RATE_HZ, freq)
+
+
 def run(
     freqs_hz: Sequence[float] = DEFAULT_FREQS_HZ,
     power_dbm: float = -20.0,
@@ -45,29 +58,32 @@ def run(
         dict with ``freq_hz``, ``mono_snr_db`` and ``stereo_snr_db`` lists
         (the two curves of Fig. 6).
     """
+    freqs = tuple(freqs_hz)
 
-    def measure(run):
-        freq = run.point["freq_hz"]
-        payload = tone(freq, duration_s, AUDIO_RATE_HZ, amplitude=0.9)
-        received = run.chain.transmit(payload, run.rng)
-        return tone_snr_db(run.chain.payload_channel(received), AUDIO_RATE_HZ, freq)
+    def prepare(gen):
+        return {
+            f"tone_{freq}": tone(freq, duration_s, AUDIO_RATE_HZ, amplitude=0.9)
+            for freq in freqs
+        }
 
     scenario = Scenario(
         name="fig06",
-        sweep=SweepSpec.grid(freq_hz=tuple(freqs_hz), band=("mono", "stereo")),
+        sweep=SweepSpec.grid(freq_hz=freqs, band=("mono", "stereo")),
+        prepare=prepare,
         base_chain={
             "program": "silence",
             "power_dbm": power_dbm,
             "distance_ft": distance_ft,
         },
-        chain_params=lambda p: _BAND_CHAINS[p["band"]],
-        rng_keys=lambda p: (p["band"], p["freq_hz"]),
-        measure=measure,
+        chain_value_params={"band": _BAND_CHAINS},
+        rng_keys=(AxisRef("band"), AxisRef("freq_hz")),
+        payload=PayloadSelector("freq_hz", {freq: f"tone_{freq}" for freq in freqs}),
+        measure=score_tone_snr_at_point,
     )
     result = run_scenario(scenario, rng=rng)
 
     return {
-        "freq_hz": [float(f) for f in freqs_hz],
+        "freq_hz": [float(f) for f in freqs],
         "mono_snr_db": result.series(along="freq_hz", band="mono"),
         "stereo_snr_db": result.series(along="freq_hz", band="stereo"),
     }

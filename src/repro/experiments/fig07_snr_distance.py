@@ -13,12 +13,21 @@ from typing import Dict, Sequence
 from repro.audio.tones import tone
 from repro.constants import AUDIO_RATE_HZ
 from repro.dsp.spectrum import tone_snr_db
-from repro.engine import Scenario, SweepSpec, power_key, run_scenario
+from repro.engine import AxisRef, PointRun, Scenario, SweepSpec, power_key, run_scenario
 from repro.utils.rand import RngLike
 
 DEFAULT_POWERS_DBM = (-20.0, -30.0, -40.0, -50.0, -60.0)
 DEFAULT_DISTANCES_FT = (1, 2, 4, 6, 8, 12, 16, 20)
 TONE_HZ = 1000.0
+
+
+def score_tone_snr(run: PointRun, freq_hz: float) -> float:
+    """Tone SNR of the runner-transmitted payload channel.
+
+    Module-level (with data via ``measure_params``) so the scenario
+    pickles into process-pool workers.
+    """
+    return tone_snr_db(run.chain.payload_channel(run.received), AUDIO_RATE_HZ, freq_hz)
 
 
 def run(
@@ -36,24 +45,20 @@ def run(
     """
     payload = tone(TONE_HZ, duration_s, AUDIO_RATE_HZ, amplitude=0.9)
 
-    def measure(run):
-        received = run.chain.transmit(payload, run.rng)
-        return tone_snr_db(run.chain.payload_channel(received), AUDIO_RATE_HZ, TONE_HZ)
-
     scenario = Scenario(
         name="fig07",
         sweep=SweepSpec.grid(power_dbm=tuple(powers_dbm), distance_ft=tuple(distances_ft)),
+        prepare=lambda gen: {"payload": payload},
         base_chain={
             "program": "silence",
             "receiver_kind": receiver_kind,
             "stereo_decode": False,
         },
-        chain_params=lambda p: {
-            "power_dbm": p["power_dbm"],
-            "distance_ft": p["distance_ft"],
-        },
-        rng_keys=lambda p: ("fig7", p["power_dbm"], p["distance_ft"]),
-        measure=measure,
+        chain_axes=("power_dbm", "distance_ft"),
+        rng_keys=("fig7", AxisRef("power_dbm"), AxisRef("distance_ft")),
+        payload="payload",
+        measure=score_tone_snr,
+        measure_params={"freq_hz": TONE_HZ},
     )
     result = run_scenario(scenario, rng=rng)
 

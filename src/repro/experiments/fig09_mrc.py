@@ -15,7 +15,7 @@ from repro.data.ber import bit_error_rate
 from repro.data.bits import random_bits
 from repro.data.fdm import FdmFskModem
 from repro.data.mrc import mrc_combine
-from repro.engine import Scenario, SweepSpec, run_scenario
+from repro.engine import AxisRef, PointRun, Scenario, SweepSpec, run_scenario
 from repro.utils.rand import RngLike, child_generator
 
 DEFAULT_DISTANCES_FT = (2, 4, 8, 12, 16, 20)
@@ -25,6 +25,12 @@ DEFAULT_BACK_AMPLITUDE = 0.25
 interference-limited regime (errors come from the program audio, which is
 what MRC averages out); a reduced payload amplitude reproduces the
 paper's operating point where single-shot BER is a few percent."""
+
+
+def received_payload_channel(run: PointRun):
+    """The runner-transmitted reception's payload channel, returned raw
+    for post-grid MRC combining (module-level, picklable)."""
+    return run.chain.payload_channel(run.received)
 
 
 def run(
@@ -63,12 +69,11 @@ def run(
             "stereo_decode": False,
             "back_amplitude": back_amplitude,
         },
-        chain_params=lambda p: {"distance_ft": p["distance_ft"]},
-        rng_keys=lambda p: ("rep", p["distance_ft"], p["rep"]),
-        ambient_variant=lambda p: p["rep"],
-        measure=lambda run: run.chain.payload_channel(
-            run.chain.transmit(run.data["waveform"], run.rng)
-        ),
+        chain_axes=("distance_ft",),
+        rng_keys=("rep", AxisRef("distance_ft"), AxisRef("rep")),
+        ambient_variant=AxisRef("rep"),
+        payload="waveform",
+        measure=received_payload_channel,
     )
     result = run_scenario(scenario, rng=rng)
     bits = result.data["bits"]

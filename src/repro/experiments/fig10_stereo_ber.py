@@ -13,8 +13,8 @@ from typing import Dict, Sequence
 from repro.backscatter.device import BackscatterMode
 from repro.data.bits import random_bits
 from repro.data.fdm import FdmFskModem
-from repro.engine import Scenario, SweepSpec, run_scenario
-from repro.experiments.common import measure_data_ber
+from repro.engine import AxisRef, Scenario, SweepSpec, run_scenario
+from repro.experiments.fig08_ber_overlay import score_ber
 from repro.utils.rand import RngLike, as_generator, child_generator
 
 DEFAULT_DISTANCES_FT = (1, 2, 3, 4)
@@ -48,24 +48,25 @@ def run(
     for rate_label, symbol_rate in (("1.6k", 200), ("3.2k", 400)):
         modem = FdmFskModem(symbol_rate=symbol_rate)
 
+        def prepare(g, rate=rate_label, m=modem):
+            bits = random_bits(n_bits, child_generator(g, "payload", rate))
+            return {"bits": bits, "waveform": m.modulate(bits)}
+
         scenario = Scenario(
             name="fig10",
             sweep=SweepSpec.grid(mode=("overlay", "stereo"), distance_ft=tuple(distances_ft)),
-            prepare=lambda g, rate=rate_label: {
-                "bits": random_bits(n_bits, child_generator(g, "payload", rate))
-            },
+            prepare=prepare,
             base_chain={
                 "program": program,
                 "station_stereo": True,
                 "power_dbm": power_dbm,
             },
-            chain_params=lambda p: dict(
-                _MODE_CHAINS[p["mode"]], distance_ft=p["distance_ft"]
-            ),
-            rng_keys=lambda p, rate=rate_label: (p["mode"], rate, p["distance_ft"]),
-            measure=lambda run: measure_data_ber(
-                run.chain, modem, run.data["bits"], run.rng
-            ),
+            chain_axes=("distance_ft",),
+            chain_value_params={"mode": _MODE_CHAINS},
+            rng_keys=(AxisRef("mode"), rate_label, AxisRef("distance_ft")),
+            payload="waveform",
+            measure=score_ber,
+            measure_params={"modem": modem},
         )
         result = run_scenario(scenario, rng=gen)
         for mode_label in ("overlay", "stereo"):

@@ -14,11 +14,20 @@ from typing import Dict, Sequence
 from repro.audio.pesq import pesq_like
 from repro.audio.speech import speech_like
 from repro.constants import AUDIO_RATE_HZ
-from repro.engine import Scenario, SweepSpec, power_key, run_scenario
+from repro.engine import AxisRef, PointRun, Scenario, SweepSpec, power_key, run_scenario
 from repro.utils.rand import RngLike, child_generator
 
 DEFAULT_POWERS_DBM = (-20.0, -30.0, -40.0, -50.0, -60.0)
 DEFAULT_DISTANCES_FT = (1, 4, 8, 12, 16, 20)
+
+
+def score_pesq(run: PointRun) -> float:
+    """PESQ of the runner-transmitted reference against the payload
+    channel (module-level, picklable)."""
+    reference = run.data["reference"]
+    return pesq_like(
+        reference, run.chain.payload_channel(run.received), AUDIO_RATE_HZ
+    )
 
 
 def run(
@@ -34,12 +43,6 @@ def run(
     Returns:
         dict with ``distances_ft`` and one PESQ list per power level.
     """
-
-    def measure(run):
-        reference = run.data["reference"]
-        received = run.chain.transmit(reference, run.rng)
-        return pesq_like(reference, run.chain.payload_channel(received), AUDIO_RATE_HZ)
-
     scenario = Scenario(
         name="fig11",
         sweep=SweepSpec.grid(power_dbm=tuple(powers_dbm), distance_ft=tuple(distances_ft)),
@@ -53,12 +56,10 @@ def run(
             "receiver_kind": receiver_kind,
             "stereo_decode": False,
         },
-        chain_params=lambda p: {
-            "power_dbm": p["power_dbm"],
-            "distance_ft": p["distance_ft"],
-        },
-        rng_keys=lambda p: ("fig11", p["power_dbm"], p["distance_ft"]),
-        measure=measure,
+        chain_axes=("power_dbm", "distance_ft"),
+        rng_keys=("fig11", AxisRef("power_dbm"), AxisRef("distance_ft")),
+        payload="reference",
+        measure=score_pesq,
     )
     result = run_scenario(scenario, rng=rng)
 

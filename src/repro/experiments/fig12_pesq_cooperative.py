@@ -19,7 +19,7 @@ from repro.backscatter.device import BackscatterDevice, BackscatterMode
 from repro.backscatter.modulator import composite_mpx
 from repro.channel.noise import complex_awgn
 from repro.constants import AUDIO_RATE_HZ, COOP_PILOT_FREQ_HZ, MPX_RATE_HZ
-from repro.engine import CachedAmbient, Scenario, SweepSpec, power_key, run_scenario
+from repro.engine import AxisRef, CachedAmbient, Scenario, SweepSpec, power_key, run_scenario
 from repro.experiments.common import ExperimentChain
 from repro.fm.modulator import fm_modulate
 from repro.fm.station import FMStation, StationConfig
@@ -134,6 +134,25 @@ def simulate_two_phones(
     return result.backscatter_audio, result
 
 
+def measure_coop_pesq(run) -> float:
+    """One cooperative two-phone point: simulate, cancel, score PESQ.
+
+    Module-level so the scenario pickles into process-pool workers (the
+    two-phone simulation is exactly the GIL-bound, resampling-heavy kind
+    of measure the process backend exists for).
+    """
+    reference = run.data["reference"]
+    recovered, _ = simulate_two_phones(
+        reference,
+        run.point["power_dbm"],
+        run.point["distance_ft"],
+        rng=run.rng,
+        ambient=run.ambient,
+    )
+    n = min(reference.size, recovered.size)
+    return pesq_like(reference[:n], recovered[:n], AUDIO_RATE_HZ)
+
+
 def run(
     powers_dbm: Sequence[float] = DEFAULT_POWERS_DBM,
     distances_ft: Sequence[float] = DEFAULT_DISTANCES_FT,
@@ -141,18 +160,6 @@ def run(
     rng: RngLike = None,
 ) -> Dict[str, object]:
     """PESQ sweep over (power, distance) for cooperative backscatter."""
-
-    def measure(run):
-        reference = run.data["reference"]
-        recovered, _ = simulate_two_phones(
-            reference,
-            run.point["power_dbm"],
-            run.point["distance_ft"],
-            rng=run.rng,
-            ambient=run.ambient,
-        )
-        n = min(reference.size, recovered.size)
-        return pesq_like(reference[:n], recovered[:n], AUDIO_RATE_HZ)
 
     scenario = Scenario(
         name="fig12",
@@ -162,8 +169,8 @@ def run(
                 duration_s, AUDIO_RATE_HZ, child_generator(gen, "speech"), amplitude=0.9
             )
         },
-        rng_keys=lambda p: ("fig12", p["power_dbm"], p["distance_ft"]),
-        measure=measure,
+        rng_keys=("fig12", AxisRef("power_dbm"), AxisRef("distance_ft")),
+        measure=measure_coop_pesq,
     )
     result = run_scenario(scenario, rng=rng)
 

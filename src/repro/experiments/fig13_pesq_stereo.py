@@ -12,17 +12,28 @@ step lower.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Sequence, Tuple
 
 from repro.audio.pesq import pesq_like
 from repro.audio.speech import speech_like
 from repro.backscatter.device import BackscatterMode
 from repro.constants import AUDIO_RATE_HZ
-from repro.engine import Scenario, SweepSpec, power_key, run_scenario
+from repro.engine import AxisRef, PointRun, Scenario, SweepSpec, power_key, run_scenario
 from repro.utils.rand import RngLike, child_generator
 
 DEFAULT_POWERS_DBM = (-20.0, -30.0, -40.0)
 DEFAULT_DISTANCES_FT = (1, 4, 8, 12, 16, 20)
+
+
+def score_pesq_and_lock(run: PointRun) -> Tuple[float, bool]:
+    """(PESQ, stereo-locked) of the runner-transmitted reference
+    (module-level, picklable)."""
+    reference = run.data["reference"]
+    audio = run.chain.payload_channel(run.received)
+    return (
+        pesq_like(reference, audio, AUDIO_RATE_HZ),
+        run.received.stereo_locked,
+    )
 
 
 def run(
@@ -49,15 +60,6 @@ def run(
     station_stereo = scenario == "stereo_station"
     mode = BackscatterMode.STEREO if station_stereo else BackscatterMode.MONO_TO_STEREO
 
-    def measure(run):
-        reference = run.data["reference"]
-        received = run.chain.transmit(reference, run.rng)
-        audio = run.chain.payload_channel(received)
-        return (
-            pesq_like(reference, audio, AUDIO_RATE_HZ),
-            received.stereo_locked,
-        )
-
     sweep_scenario = Scenario(
         name="fig13",
         sweep=SweepSpec.grid(power_dbm=tuple(powers_dbm), distance_ft=tuple(distances_ft)),
@@ -72,12 +74,10 @@ def run(
             "mode": mode,
             "stereo_decode": True,
         },
-        chain_params=lambda p: {
-            "power_dbm": p["power_dbm"],
-            "distance_ft": p["distance_ft"],
-        },
-        rng_keys=lambda p: (scenario_label, p["power_dbm"], p["distance_ft"]),
-        measure=measure,
+        chain_axes=("power_dbm", "distance_ft"),
+        rng_keys=(scenario_label, AxisRef("power_dbm"), AxisRef("distance_ft")),
+        payload="reference",
+        measure=score_pesq_and_lock,
     )
     result = run_scenario(sweep_scenario, rng=rng)
 

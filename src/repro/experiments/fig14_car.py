@@ -16,12 +16,29 @@ from repro.audio.speech import speech_like
 from repro.audio.tones import tone
 from repro.constants import AUDIO_RATE_HZ
 from repro.dsp.spectrum import tone_snr_db
-from repro.engine import Scenario, SweepSpec, power_key, run_scenario
+from repro.engine import (
+    AxisRef,
+    PayloadSelector,
+    PointRun,
+    Scenario,
+    SweepSpec,
+    power_key,
+    run_scenario,
+)
 from repro.utils.rand import RngLike, child_generator
 
 DEFAULT_POWERS_DBM = (-20.0, -30.0)
 DEFAULT_DISTANCES_FT = (20, 30, 40, 50, 60, 70, 80)
 TONE_HZ = 1000.0
+
+
+def score_panel(run: PointRun, tone_hz: float) -> float:
+    """Score one Fig. 14 point: tone SNR on the ``snr`` panel, PESQ of
+    the overlaid speech on the ``pesq`` panel (module-level, picklable)."""
+    audio = run.chain.payload_channel(run.received)
+    if run.point["panel"] == "snr":
+        return tone_snr_db(audio, AUDIO_RATE_HZ, tone_hz)
+    return pesq_like(run.data["speech"], audio, AUDIO_RATE_HZ)
 
 
 def run(
@@ -39,15 +56,13 @@ def run(
     """
     tone_payload = tone(TONE_HZ, duration_s, AUDIO_RATE_HZ, amplitude=0.9)
 
-    def measure(run):
-        if run.point["panel"] == "snr":
-            received = run.chain.transmit(tone_payload, run.rng)
-            return tone_snr_db(
-                run.chain.payload_channel(received), AUDIO_RATE_HZ, TONE_HZ
-            )
-        speech = run.data["speech"]
-        received = run.chain.transmit(speech, run.rng)
-        return pesq_like(speech, run.chain.payload_channel(received), AUDIO_RATE_HZ)
+    def prepare(gen):
+        return {
+            "tone": tone_payload,
+            "speech": speech_like(
+                duration_s, AUDIO_RATE_HZ, child_generator(gen, "speech"), amplitude=0.9
+            ),
+        }
 
     # The panel axis is innermost so the per-point draws interleave
     # snr, pesq, snr, pesq, ... exactly like the legacy loop body.
@@ -58,19 +73,16 @@ def run(
             distance_ft=tuple(distances_ft),
             panel=("snr", "pesq"),
         ),
-        prepare=lambda gen: {
-            "speech": speech_like(
-                duration_s, AUDIO_RATE_HZ, child_generator(gen, "speech"), amplitude=0.9
-            )
-        },
+        prepare=prepare,
         base_chain={"receiver_kind": "car", "stereo_decode": False},
-        chain_params=lambda p: {
-            "program": "silence" if p["panel"] == "snr" else program,
-            "power_dbm": p["power_dbm"],
-            "distance_ft": p["distance_ft"],
+        chain_axes=("power_dbm", "distance_ft"),
+        chain_value_params={
+            "panel": {"snr": {"program": "silence"}, "pesq": {"program": program}}
         },
-        rng_keys=lambda p: (p["panel"], p["power_dbm"], p["distance_ft"]),
-        measure=measure,
+        rng_keys=(AxisRef("panel"), AxisRef("power_dbm"), AxisRef("distance_ft")),
+        payload=PayloadSelector("panel", {"snr": "tone", "pesq": "speech"}),
+        measure=score_panel,
+        measure_params={"tone_hz": TONE_HZ},
     )
     result = run_scenario(scenario, rng=rng)
 

@@ -20,7 +20,7 @@ from repro.data.bits import random_bits
 from repro.data.fdm import FdmFskModem
 from repro.data.fsk import BinaryFskModem
 from repro.data.mrc import mrc_combine
-from repro.engine import Scenario, SweepSpec, run_scenario
+from repro.engine import AxisRef, Scenario, SweepSpec, run_scenario
 from repro.experiments.common import ExperimentChain
 from repro.utils.rand import RngLike, child_generator
 
@@ -36,6 +36,36 @@ standing at 1.6 kbps, ~0 at 100 bps)."""
 _LEGS = ("low", "hi0", "hi1")
 """Transmission legs per (motion, trial): one 100 bps frame and the two
 repetitions of the 1.6 kbps + 2x MRC frame."""
+
+
+def measure_fabric_leg(
+    run, power_dbm: float, distance_ft: float, back_amplitude: float
+):
+    """Transmit one fabric leg through a fresh fading channel.
+
+    Every leg sees fresh fading and its own ambient program (the MRC
+    repetitions in particular must not share interference); both streams
+    derive from the point generator. Module-level (configuration via
+    ``measure_params``) so the scenario pickles into process workers —
+    the fading chain cannot use the batched backend, but it can fan out
+    across processes.
+    """
+    motion = run.point["motion"]
+    leg = run.point["leg"]
+    fading = BodyMotionFading(motion, child_generator(run.rng, "fade"))
+    chain = ExperimentChain(
+        program="news",
+        power_dbm=power_dbm,
+        distance_ft=distance_ft,
+        stereo_decode=False,
+        fading=fading,
+        device_antenna=MEANDER_SHIRT,
+        back_amplitude=back_amplitude,
+    )
+    chain.ambient_source = run.ambient
+    wave = run.data["wave_low"] if leg == "low" else run.data["wave_high"]
+    received = chain.transmit(wave, child_generator(run.rng, "rx"))
+    return chain.payload_channel(received)
 
 
 def run(
@@ -67,36 +97,20 @@ def run(
             "wave_high": fdm.modulate(bits_high),
         }
 
-    def measure(run):
-        # Every leg sees fresh fading and its own ambient program (the
-        # MRC repetitions in particular must not share interference);
-        # both streams derive from the point generator.
-        motion = run.point["motion"]
-        leg = run.point["leg"]
-        fading = BodyMotionFading(motion, child_generator(run.rng, "fade"))
-        chain = ExperimentChain(
-            program="news",
-            power_dbm=power_dbm,
-            distance_ft=distance_ft,
-            stereo_decode=False,
-            fading=fading,
-            device_antenna=MEANDER_SHIRT,
-            back_amplitude=back_amplitude,
-        )
-        chain.ambient_source = run.ambient
-        wave = run.data["wave_low"] if leg == "low" else run.data["wave_high"]
-        received = chain.transmit(wave, child_generator(run.rng, "rx"))
-        return chain.payload_channel(received)
-
     scenario = Scenario(
         name="fig17",
         sweep=SweepSpec.grid(motion=tuple(motions), trial=tuple(range(n_trials)), leg=_LEGS),
         prepare=prepare,
-        rng_keys=lambda p: ("f17", p["motion"], p["trial"], p["leg"]),
+        rng_keys=("f17", AxisRef("motion"), AxisRef("trial"), AxisRef("leg")),
         # Distinct program audio per (trial, leg) — shared across motions,
         # where only the fading statistics differ.
-        ambient_variant=lambda p: (p["trial"], p["leg"]),
-        measure=measure,
+        ambient_variant=(AxisRef("trial"), AxisRef("leg")),
+        measure=measure_fabric_leg,
+        measure_params={
+            "power_dbm": power_dbm,
+            "distance_ft": distance_ft,
+            "back_amplitude": back_amplitude,
+        },
     )
     result = run_scenario(scenario, rng=rng)
     bits_low = result.data["bits_low"]

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.constants import FM_MAX_DEVIATION_HZ, MPX_RATE_HZ
 from repro.errors import SignalError
-from repro.utils.validation import ensure_1d, ensure_positive
+from repro.utils.validation import ensure_positive, ensure_signal
 
 
 def fm_demodulate(
@@ -25,34 +25,39 @@ def fm_demodulate(
     """Recover the MPX baseband from a complex FM envelope.
 
     Args:
-        iq: complex envelope samples.
+        iq: complex envelope samples; 1-D, or 2-D ``(batch, samples)`` to
+            demodulate a stack of envelopes along the last axis in one
+            vectorized pass. Each row's output is bit-identical to
+            demodulating that row alone.
         sample_rate: sample rate of ``iq``.
         deviation_hz: deviation used at the modulator; output is scaled so
             full deviation maps back to +/-1.
 
     Returns:
-        Real MPX estimate, same length as the input (first sample
+        Real MPX estimate, same shape as the input (first sample
         duplicated, matching :func:`repro.dsp.phase.phase_to_frequency`).
 
     Raises:
-        SignalError: if the input is not complex or is all zeros (no
-            carrier to demodulate).
+        SignalError: if the input is not complex or any waveform is all
+            zeros (no carrier to demodulate).
     """
-    iq = ensure_1d(iq, "iq")
+    iq = ensure_signal(iq, "iq")
     if not np.iscomplexobj(iq):
         raise SignalError("iq must be a complex envelope")
     sample_rate = ensure_positive(sample_rate, "sample_rate")
     deviation_hz = ensure_positive(deviation_hz, "deviation_hz")
-    if not np.any(np.abs(iq) > 0):
+    magnitude = np.abs(iq)
+    if not np.all(np.any(magnitude > 0, axis=-1)):
         raise SignalError("iq contains no signal (all zeros)")
     # Quadrature discriminator. Guard against zero samples from hard
     # channel fades by substituting the previous sample (limiter behavior).
-    magnitude = np.abs(iq)
-    floor = 1e-12 * float(np.max(magnitude))
+    # The floor is per waveform, so a batch demodulates each row exactly
+    # as it would alone.
+    floor = 1e-12 * np.max(magnitude, axis=-1, keepdims=True)
     safe = np.where(magnitude > floor, iq, floor)
-    increments = np.angle(safe[1:] * np.conj(safe[:-1]))
+    increments = np.angle(safe[..., 1:] * np.conj(safe[..., :-1]))
     inst_freq = increments * sample_rate / (2.0 * np.pi)
-    if inst_freq.size == 0:
-        return np.zeros(1)
-    inst_freq = np.concatenate([[inst_freq[0]], inst_freq])
+    if inst_freq.shape[-1] == 0:
+        return np.zeros(iq.shape[:-1] + (1,))
+    inst_freq = np.concatenate([inst_freq[..., :1], inst_freq], axis=-1)
     return inst_freq / deviation_hz

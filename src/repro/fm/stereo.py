@@ -18,8 +18,9 @@ from repro.constants import AUDIO_RATE_HZ, MPX_RATE_HZ, PILOT_FREQ_HZ
 from repro.dsp.filters import bandpass_fir, design_lowpass_fir, filter_signal
 from repro.dsp.pll import PhaseLockedLoop
 from repro.dsp.resample import resample_by_ratio
+from repro.errors import SignalError
 from repro.fm.pilot import detect_pilot
-from repro.utils.validation import ensure_positive, ensure_real
+from repro.utils.validation import ensure_positive, ensure_real, ensure_signal
 
 
 @dataclass
@@ -61,8 +62,14 @@ def decode_mono(
     This is the 0-15 kHz slice every receiver produces before any stereo
     processing; mono-only receive paths (``stereo_capable=False``) use it
     directly and skip pilot recovery entirely.
+
+    Accepts a 1-D MPX or a 2-D ``(batch, samples)`` stack — the batched
+    sweep backend decodes every grid point's MPX in one filtering +
+    resampling pass, each row bit-identical to decoding it alone.
     """
-    mpx = ensure_real(mpx, "mpx")
+    mpx = ensure_signal(mpx, "mpx")
+    if np.iscomplexobj(mpx):
+        raise SignalError("mpx must be real-valued")
     mpx_rate = ensure_positive(mpx_rate, "mpx_rate")
     audio_rate = ensure_positive(audio_rate, "audio_rate")
     mono_mpx = filter_signal(design_lowpass_fir(15e3, mpx_rate, 513), mpx)

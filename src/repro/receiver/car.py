@@ -67,13 +67,16 @@ class CarReceiver(FMReceiver):
         noise *= np.sqrt(target_noise_power / max(noise_power, 1e-30))
         return shaped + noise
 
-    def receive(self, iq: np.ndarray) -> ReceivedAudio:
-        """Receive and pass the audio through the cabin microphone path."""
-        result = super().receive(iq)
+    def apply_output_effects(self, received: ReceivedAudio) -> ReceivedAudio:
+        """Pass the decoded audio through the cabin microphone path.
+
+        Left precedes right so the cabin-noise generator draws in the
+        same order on the serial and batched receive paths.
+        """
         return ReceivedAudio(
-            left=self._acoustic_path(result.left),
-            right=self._acoustic_path(result.right),
-            stereo_locked=result.stereo_locked,
-            mpx=result.mpx,
-            audio_rate=result.audio_rate,
+            left=self._acoustic_path(received.left),
+            right=self._acoustic_path(received.right),
+            stereo_locked=received.stereo_locked,
+            mpx=received.mpx,
+            audio_rate=received.audio_rate,
         )

@@ -3,13 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.constants import AUDIO_RATE_HZ, FM_MAX_DEVIATION_HZ, MPX_RATE_HZ
 from repro.dsp.biquad import deemphasis_filter
 from repro.dsp.filters import design_lowpass_fir, filter_signal
+from repro.errors import ConfigurationError
 from repro.fm.demodulator import fm_demodulate
 from repro.fm.stereo import StereoAudio, decode_mono, decode_stereo
 from repro.utils.validation import ensure_positive
@@ -84,6 +85,18 @@ class FMReceiver:
             audio = deemphasis_filter(self.audio_rate).apply(audio)
         return audio
 
+    def apply_output_effects(self, received: ReceivedAudio) -> ReceivedAudio:
+        """Receiver-specific effects on the decoded audio.
+
+        Subclasses model their recording chain here (smartphone AGC and
+        codec noise, car cabin acoustics). The hook runs after the shared
+        demodulate/decode/post-process DSP, on both the serial path
+        (:meth:`receive`) and the batched one
+        (:func:`receive_mono_batch`), so a receiver's stochastic effects
+        are applied per point with that point's own generator either way.
+        """
+        return received
+
     def receive_mpx(self, iq: np.ndarray) -> np.ndarray:
         """Demodulate the complex envelope into the MPX baseband."""
         return fm_demodulate(iq, self.mpx_rate, self.deviation_hz)
@@ -104,10 +117,85 @@ class FMReceiver:
             left = self._post_process(decode_mono(mpx, self.mpx_rate, self.audio_rate))
             right = left.copy()
             stereo_locked = False
-        return ReceivedAudio(
-            left=left,
-            right=right,
-            stereo_locked=stereo_locked,
-            mpx=mpx,
-            audio_rate=self.audio_rate,
+        return self.apply_output_effects(
+            ReceivedAudio(
+                left=left,
+                right=right,
+                stereo_locked=stereo_locked,
+                mpx=mpx,
+                audio_rate=self.audio_rate,
+            )
         )
+
+
+def supports_mono_batch(receiver: FMReceiver) -> bool:
+    """Whether :func:`receive_mono_batch` can stand in for ``receive``."""
+    return not receiver.stereo_capable and not receiver.apply_deemphasis
+
+
+def receive_mono_batch(
+    receivers: Sequence[FMReceiver], iq_batch: np.ndarray
+) -> List[ReceivedAudio]:
+    """Receive many envelopes through the shared mono DSP in one pass.
+
+    The demodulator, mono decoder and audio low-pass are deterministic
+    and sample-wise independent across waveforms, so the batched sweep
+    backend stacks every grid point's noisy envelope into one
+    ``(points, samples)`` array and runs those stages as single NumPy
+    ops — bit-identical per row to ``receivers[i].receive(iq_batch[i])``
+    because the 2-D code path in the DSP layer is the same code path the
+    1-D calls take. Per-receiver stochastic effects (codec noise, cabin
+    noise) then run row by row through :meth:`FMReceiver.apply_output_effects`
+    with each receiver's own generator.
+
+    Args:
+        receivers: one configured mono receiver per row; all must share
+            the DSP-relevant configuration (rates, cutoff, deviation).
+        iq_batch: complex envelopes, shape ``(len(receivers), samples)``.
+
+    Returns:
+        One :class:`ReceivedAudio` per row, in order.
+    """
+    receivers = list(receivers)
+    iq_batch = np.asarray(iq_batch)
+    if iq_batch.ndim != 2 or iq_batch.shape[0] != len(receivers):
+        raise ConfigurationError(
+            f"iq_batch must have shape (n_receivers, samples); got {iq_batch.shape} "
+            f"for {len(receivers)} receivers"
+        )
+    if not receivers:
+        return []
+    ref = receivers[0]
+    for rx in receivers:
+        if not supports_mono_batch(rx):
+            raise ConfigurationError(
+                "receive_mono_batch needs mono receivers without de-emphasis "
+                "(stereo decoding is a per-waveform PLL)"
+            )
+        if (
+            rx.mpx_rate != ref.mpx_rate
+            or rx.audio_rate != ref.audio_rate
+            or rx.deviation_hz != ref.deviation_hz
+            or rx.audio_cutoff_hz != ref.audio_cutoff_hz
+        ):
+            raise ConfigurationError(
+                "all receivers in one batch must share mpx/audio rates, "
+                "deviation and audio cutoff"
+            )
+
+    mpx_batch = fm_demodulate(iq_batch, ref.mpx_rate, ref.deviation_hz)
+    audio_batch = decode_mono(mpx_batch, ref.mpx_rate, ref.audio_rate)
+    audio_batch = ref._post_process(audio_batch)
+
+    results: List[ReceivedAudio] = []
+    for rx, audio_row, mpx_row in zip(receivers, audio_batch, mpx_batch):
+        left = np.ascontiguousarray(audio_row)
+        received = ReceivedAudio(
+            left=left,
+            right=left.copy(),
+            stereo_locked=False,
+            mpx=np.ascontiguousarray(mpx_row),
+            audio_rate=rx.audio_rate,
+        )
+        results.append(rx.apply_output_effects(received))
+    return results

@@ -68,13 +68,16 @@ class SmartphoneReceiver(FMReceiver):
             audio = audio + noise_rms * self._rng.standard_normal(audio.size)
         return audio
 
-    def receive(self, iq: np.ndarray) -> ReceivedAudio:
-        """Receive and apply the phone's recording-chain effects."""
-        result = super().receive(iq)
+    def apply_output_effects(self, received: ReceivedAudio) -> ReceivedAudio:
+        """Apply the phone's recording-chain effects (AGC, codec noise).
+
+        Left is finalized before right, preserving the draw order of the
+        codec-noise generator across the serial and batched receive paths.
+        """
         return ReceivedAudio(
-            left=self._finalize(result.left),
-            right=self._finalize(result.right),
-            stereo_locked=result.stereo_locked,
-            mpx=result.mpx,
-            audio_rate=result.audio_rate,
+            left=self._finalize(received.left),
+            right=self._finalize(received.right),
+            stereo_locked=received.stereo_locked,
+            mpx=received.mpx,
+            audio_rate=received.audio_rate,
         )

@@ -31,6 +31,27 @@ def ensure_1d(signal: np.ndarray, name: str = "signal") -> np.ndarray:
     return arr
 
 
+def ensure_signal(signal: np.ndarray, name: str = "signal") -> np.ndarray:
+    """Return ``signal`` as a 1-D waveform or 2-D ``(batch, samples)`` stack.
+
+    Samples run along the last axis. The sweep engine's batched backend
+    stacks many grid points' waveforms into one array so filtering,
+    resampling and demodulation run as single NumPy ops; every DSP
+    function that accepts this shape validates through here.
+
+    Raises:
+        SignalError: if the input is empty or has more than two dimensions.
+    """
+    arr = np.asarray(signal)
+    if arr.ndim not in (1, 2):
+        raise SignalError(f"{name} must be 1-D or 2-D, got shape {arr.shape}")
+    if arr.size == 0 or arr.shape[-1] == 0:
+        raise SignalError(f"{name} must be non-empty")
+    if not np.iscomplexobj(arr):
+        arr = arr.astype(float, copy=False)
+    return arr
+
+
 def ensure_real(signal: np.ndarray, name: str = "signal") -> np.ndarray:
     """Return ``signal`` as a real 1-D array, rejecting complex input."""
     arr = ensure_1d(signal, name)

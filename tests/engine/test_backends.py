@@ -1,0 +1,190 @@
+"""Golden-seed equivalence of the four sweep backends.
+
+The engine's contract: the per-point streams are pre-derived from the
+sweep generator, so ``serial``, ``thread``, ``process`` and ``batched``
+execution return bit-identical results — on a data-BER scenario
+(Fig. 8) and an audio-metric scenario (Fig. 7) alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.audio.tones import tone
+from repro.constants import AUDIO_RATE_HZ
+from repro.engine import (
+    AmbientCache,
+    AxisRef,
+    Scenario,
+    SweepRunner,
+    SweepSpec,
+    default_backend,
+)
+from repro.errors import ConfigurationError
+from repro.experiments import fig07_snr_distance as fig07
+from repro.experiments import fig08_ber_overlay as fig08
+
+SEED = 2017
+BACKENDS = ("serial", "thread", "process", "batched")
+
+FIG08_KWARGS = dict(
+    rate="1.6kbps",
+    powers_dbm=(-55.0, -60.0),
+    distances_ft=(8, 16),
+    n_bits=48,
+    rng=SEED,
+)
+FIG07_KWARGS = dict(
+    powers_dbm=(-30.0, -60.0),
+    distances_ft=(2, 8),
+    duration_s=0.15,
+    rng=SEED,
+)
+
+
+class TestBackendEquivalence:
+    @pytest.fixture(scope="class")
+    def fig08_by_backend(self):
+        return {
+            backend: self._run_with_backend(fig08.run, FIG08_KWARGS, backend)
+            for backend in BACKENDS
+        }
+
+    @pytest.fixture(scope="class")
+    def fig07_by_backend(self):
+        return {
+            backend: self._run_with_backend(fig07.run, FIG07_KWARGS, backend)
+            for backend in BACKENDS
+        }
+
+    @staticmethod
+    def _run_with_backend(run, kwargs, backend):
+        import os
+
+        before = os.environ.get("REPRO_SWEEP_BACKEND")
+        os.environ["REPRO_SWEEP_BACKEND"] = backend
+        try:
+            return run(**kwargs)
+        finally:
+            if before is None:
+                os.environ.pop("REPRO_SWEEP_BACKEND", None)
+            else:
+                os.environ["REPRO_SWEEP_BACKEND"] = before
+
+    def test_data_ber_scenario_identical_across_backends(self, fig08_by_backend):
+        serial = fig08_by_backend["serial"]
+        # The grid sits on the BER cliff, so the values are non-trivial —
+        # a shifted noise stream would visibly change them.
+        assert any(v > 0 for key in ("P-55", "P-60") for v in serial[key])
+        for backend in BACKENDS[1:]:
+            assert fig08_by_backend[backend] == serial, backend
+
+    def test_audio_metric_scenario_identical_across_backends(self, fig07_by_backend):
+        serial = fig07_by_backend["serial"]
+        for backend in BACKENDS[1:]:
+            assert fig07_by_backend[backend] == serial, backend
+
+    def test_batched_handles_mixed_receivers_in_one_front_end_group(self):
+        # A receiver-kind axis shares one front end across phone and car
+        # points; the batched backend must vectorize the phone half, fall
+        # back per point on the car half (whose radio always runs its
+        # stereo-decoder PLL), and stay bit-identical to serial.
+        payload = tone(1000.0, 0.1, AUDIO_RATE_HZ, amplitude=0.9)
+        scenario = Scenario(
+            name="mixed",
+            sweep=SweepSpec.grid(receiver=("smartphone", "car"), distance_ft=(2, 8)),
+            prepare=lambda gen: {"payload": payload},
+            base_chain={"program": "silence", "stereo_decode": False},
+            chain_axes=("distance_ft",),
+            chain_value_params={
+                "receiver": {
+                    "smartphone": {"receiver_kind": "smartphone"},
+                    "car": {"receiver_kind": "car"},
+                }
+            },
+            payload="payload",
+            measure=_mean_abs,
+        )
+        serial = SweepRunner(
+            scenario, rng=SEED, cache=AmbientCache(), backend="serial"
+        ).run()
+        batched = SweepRunner(
+            scenario, rng=SEED, cache=AmbientCache(), backend="batched"
+        ).run()
+        assert batched.values == serial.values
+        assert batched.backend == "batched[2/4]"
+
+    def test_batched_backend_reports_vectorized_points(self):
+        payload = tone(1000.0, 0.1, AUDIO_RATE_HZ, amplitude=0.9)
+        scenario = Scenario(
+            name="label",
+            sweep=SweepSpec.grid(power_dbm=(-20.0, -40.0), distance_ft=(2, 8)),
+            prepare=lambda gen: {"payload": payload},
+            base_chain={"program": "silence", "stereo_decode": False},
+            chain_axes=("power_dbm", "distance_ft"),
+            payload="payload",
+            measure=_mean_abs,
+        )
+        result = SweepRunner(
+            scenario, rng=SEED, cache=AmbientCache(), backend="batched"
+        ).run()
+        assert result.backend == "batched[4/4]"
+        assert result.n_workers == 1
+
+
+def _mean_abs(run):
+    return float(np.mean(np.abs(run.received.mono)))
+
+
+def _closure_measure_factory():
+    secret = object()
+    return lambda run: secret
+
+
+class TestBackendConfiguration:
+    def test_env_backend_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_BACKEND", "gpu")
+        with pytest.raises(ConfigurationError):
+            default_backend()
+
+    def test_env_backend_unset_means_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_BACKEND", raising=False)
+        assert default_backend() is None
+
+    def test_constructor_rejects_unknown_backend(self):
+        scenario = Scenario(
+            name="x", sweep=SweepSpec.grid(a=(1,)), measure=_mean_abs
+        )
+        with pytest.raises(ConfigurationError):
+            SweepRunner(scenario, backend="fiber")
+
+    def test_process_backend_rejects_unpicklable_scenario(self):
+        scenario = Scenario(
+            name="closures",
+            sweep=SweepSpec.grid(a=(1, 2)),
+            measure=_closure_measure_factory(),
+            cache_ambient=False,
+        )
+        with pytest.raises(ConfigurationError, match="declarative"):
+            SweepRunner(scenario, backend="process", max_workers=2).run()
+
+    def test_single_point_grid_reports_serial_execution(self):
+        scenario = Scenario(
+            name="one",
+            sweep=SweepSpec.grid(a=(1,)),
+            measure=lambda run: run.point["a"],
+            cache_ambient=False,
+        )
+        result = SweepRunner(scenario, rng=SEED, backend="batched").run()
+        assert result.backend == "serial"
+        assert result.values == [1]
+
+    def test_serial_label_recorded(self):
+        scenario = Scenario(
+            name="label",
+            sweep=SweepSpec.grid(a=(1, 2)),
+            measure=lambda run: run.point["a"],
+            cache_ambient=False,
+        )
+        result = SweepRunner(scenario, rng=SEED, backend="serial").run()
+        assert result.backend == "serial"
+        assert result.values == [1, 2]

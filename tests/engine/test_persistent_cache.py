@@ -1,0 +1,120 @@
+"""Tests for the persistent (disk-spilled) ambient cache."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.engine import AmbientCache, CachedAmbient, CacheStore, default_cache
+from repro.engine.store import stable_key_digest
+from repro.experiments import fig08_ber_overlay as fig08
+
+SEED = 2017
+FIG08_KWARGS = dict(
+    rate="100bps",
+    powers_dbm=(-20.0, -60.0),
+    distances_ft=(2, 8),
+    n_bits=24,
+    rng=SEED,
+)
+
+
+class TestCacheStore:
+    def test_round_trip(self, tmp_path):
+        store = CacheStore(tmp_path)
+        key = ("comp_iq", 7, None, ("news", True, "overlay", 1.0, None), 4800)
+        value = np.arange(32, dtype=complex) * (1 + 1j)
+        store.save(key, value)
+        loaded = store.load(key)
+        assert np.array_equal(loaded, value)
+        assert loaded.dtype == value.dtype
+        assert len(store) == 1
+
+    def test_absent_key_is_none(self, tmp_path):
+        assert CacheStore(tmp_path).load(("nope",)) is None
+
+    def test_digest_is_stable(self):
+        key = ("mpx", 1, None, "news", True, 4800)
+        assert stable_key_digest(key) == stable_key_digest(key)
+        assert stable_key_digest(key) != stable_key_digest(key + ("x",))
+
+    def test_corrupt_file_reads_as_miss(self, tmp_path):
+        store = CacheStore(tmp_path)
+        key = ("k",)
+        store.save(key, np.zeros(4))
+        store.path_for(key).write_bytes(b"not a zipfile")
+        assert store.load(key) is None
+
+    def test_key_mismatch_reads_as_miss(self, tmp_path):
+        # A digest collision would otherwise serve the wrong waveform.
+        store = CacheStore(tmp_path)
+        a, b = ("a",), ("b",)
+        store.save(a, np.ones(4))
+        os.replace(store.path_for(a), store.path_for(b))
+        assert store.load(b) is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.save(("k",), np.zeros(2))
+        store.clear()
+        assert len(store) == 0
+
+
+class TestAmbientCacheSpill:
+    def test_second_cache_instance_loads_from_disk(self, tmp_path):
+        # Two caches on one directory model two processes (or two runs of
+        # one benchmark): the second must synthesize nothing.
+        store = CacheStore(tmp_path)
+        first = CachedAmbient(AmbientCache(store=store), master_seed=SEED)
+        a = first.mpx("news", stereo=True, duration_s=0.1)
+        assert first.cache.stats["syntheses"] == 1
+
+        second = CachedAmbient(AmbientCache(store=CacheStore(tmp_path)), master_seed=SEED)
+        b = second.mpx("news", stereo=True, duration_s=0.1)
+        assert np.array_equal(a, b)
+        assert second.cache.stats == {
+            "hits": 0, "misses": 1, "items": 1, "disk_hits": 1, "syntheses": 0,
+        }
+
+    def test_stats_without_store_keep_legacy_shape(self):
+        cache = AmbientCache()
+        cache.get(("k",), lambda: np.zeros(2))
+        assert cache.stats == {"hits": 0, "misses": 1, "items": 1}
+
+    def test_spilled_arrays_are_read_only(self, tmp_path):
+        cache = AmbientCache(store=CacheStore(tmp_path))
+        cache.get(("k",), lambda: np.zeros(4))
+        warm = AmbientCache(store=CacheStore(tmp_path))
+        value = warm.get(("k",), lambda: np.ones(4))
+        assert np.array_equal(value, np.zeros(4))  # disk, not the factory
+        with pytest.raises(ValueError):
+            value[0] = 1.0
+
+
+class TestDefaultCacheEnv:
+    def test_default_cache_attaches_store_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = default_cache()
+        assert cache.store is not None
+        assert cache.store.directory == tmp_path
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert default_cache().store is None
+
+    def test_warm_sweep_performs_zero_syntheses(self, tmp_path, monkeypatch):
+        # The acceptance bar: with a persistent cache, a repeated figure
+        # sweep (here in a simulated fresh process: a fresh default
+        # cache) synthesizes nothing and reproduces the cold run exactly.
+        import repro.engine.cache as cache_mod
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(cache_mod, "_DEFAULT_CACHE", None)
+        cold_cache = default_cache()
+        cold = fig08.run(**FIG08_KWARGS)
+        assert cold_cache.stats["syntheses"] > 0
+
+        monkeypatch.setattr(cache_mod, "_DEFAULT_CACHE", None)
+        warm_cache = default_cache()
+        warm = fig08.run(**FIG08_KWARGS)
+        assert warm == cold
+        assert warm_cache.stats["syntheses"] == 0
+        assert warm_cache.stats["disk_hits"] > 0
