@@ -4,68 +4,80 @@
 The paper's vision (section 1) has street signs broadcasting crossing
 information for accessibility; its discussion (section 8) sketches how
 multiple devices coexist — different ``fback`` values when free channels
-allow it, ALOHA-style sharing otherwise. This example plays a small
-deployment end to end:
-
-1. Scan the band and pick the quietest free channels near the strong
-   local station (the receiver-side dual of the paper's fback guidance).
-2. Signs with their own channel transmit continuously.
-3. Two signs forced to share one channel run slotted ALOHA; we verify a
-   pedestrian's phone decodes the "WALK" frame from a shared slot.
+allow it, ALOHA-style sharing otherwise. Both policies now live in the
+deployment layer (`repro.engine.deployment`), so this example is a thin
+driver: declare the signs, let the `ChannelPlan` scan the band and hand
+out channels, and run the whole intersection as one engine sweep (cached
+ambient synthesis, any `REPRO_SWEEP_BACKEND`).
 
 Run:
     python examples/connected_intersection.py
 """
 
-import numpy as np
+import os
 
-from repro.data import FrameCodec, SlottedAlohaSimulator
-from repro.data.fsk import BinaryFskModem
-from repro.experiments.common import ExperimentChain
-from repro.receiver.scanner import BandScanner, ChannelObservation
+from repro.engine import ChannelPlan, DeploymentScenario, DeviceSpec
 
 
-def main() -> None:
-    # Band snapshot around the strong station on channel 50 (94.9-ish).
-    rng = np.random.default_rng(5)
-    observations = [
-        ChannelObservation(channel=c, power_dbm=p)
-        for c, p in [
-            (47, -92.0), (48, -45.0), (49, -88.0),
-            (50, -35.0),               # the station the signs backscatter
-            (51, -86.0), (52, -44.0), (53, -95.0),
-        ]
-    ]
-    scanner = BandScanner(occupancy_threshold_dbm=-70.0)
-    print("occupied channels:", scanner.occupied_channels(observations))
+def main(fast=None) -> None:
+    if fast is None:
+        fast = os.environ.get("REPRO_EXAMPLE_FAST", "") == "1"
 
-    best = scanner.best_backscatter_channel(observations, source_channel=50)
-    fback = BandScanner.fback_for_channels(50, best)
-    print(f"sign #1 -> channel {best} (fback = {fback / 1e3:.0f} kHz)")
-
-    # Remove the taken channel and place sign #2.
-    remaining = [o for o in observations if o.channel != best]
-    second = scanner.best_backscatter_channel(remaining, source_channel=50)
-    print(f"sign #2 -> channel {second} "
-          f"(fback = {BandScanner.fback_for_channels(50, second) / 1e3:.0f} kHz)")
-
-    # Signs #3 and #4 arrive; no free channels remain in reach, so they
-    # share sign #2's channel with slotted ALOHA.
-    sim = SlottedAlohaSimulator(n_devices=2, transmit_probability=0.5)
-    stats = sim.run(2000, rng=rng)
-    print(f"two signs sharing one channel: throughput {stats.throughput:.2f} "
-          f"({stats.collisions} collisions in {stats.n_slots} slots)")
-
-    # A successful slot end to end: one sign transmits the WALK frame.
-    modem = BinaryFskModem()
-    codec = FrameCodec(modem)
-    frame = codec.encode(b"WALK 12S")
-    chain = ExperimentChain(
-        program="news", power_dbm=-35.0, distance_ft=8.0, stereo_decode=False
+    # Band snapshot around the strong station on channel 50 (94.9-ish);
+    # fback can only move energy 2 channels, so two free channels are in
+    # reach and the late-arriving signs must share one with slotted ALOHA.
+    plan = ChannelPlan(
+        policy="auto",
+        source_channel=50,
+        max_shift_channels=2,
+        slots_per_frame=4,
     )
-    received = chain.transmit(frame, rng=9)
-    decoded = codec.decode(chain.payload_channel(received))
-    print(f"pedestrian's phone decodes: {decoded.payload.decode('ascii')!r}")
+    print("occupied channels:", plan.occupied_channels())
+    print("free channels in reach (quietest first):", plan.free_channels())
+
+    signs = (
+        DeviceSpec(name="walk-sign", payload=b"WALK 12S", distance_ft=8.0),
+        DeviceSpec(name="dont-walk", payload=b"DONT WALK", distance_ft=8.0),
+        DeviceSpec(name="bus-stop", payload=b"BUS 44 2MIN", distance_ft=10.0),
+        DeviceSpec(name="xing-sign", payload=b"XING CLEAR", distance_ft=12.0),
+    )
+    assignment = plan.assign(len(signs))
+    for sign, line in zip(signs, assignment.describe()):
+        print(f"{sign.name:10s} {line.split(': ', 1)[1]}")
+    n_sharing = len(assignment.sharing_indices)
+    print(
+        f"sharing group of {n_sharing}: framed-ALOHA per-device success "
+        f"{plan.framed_success_probability(n_sharing, plan.slots_per_frame):.2f}"
+        + (
+            f", analytic slotted throughput {plan.mac(n_sharing).expected_throughput():.2f}"
+            if n_sharing
+            else ""
+        )
+    )
+
+    deployment = DeploymentScenario(
+        name="intersection",
+        devices=signs,
+        plan=plan,
+        frames_per_device=1 if fast else 2,
+    )
+    result = deployment.run(rng=5)
+    outcome = result.values[0]
+
+    print(f"\npedestrian's phone, {outcome['window_s']:.1f} s air window:")
+    for sign, stats in zip(signs, outcome["per_device"]):
+        if stats["delivered"]:
+            status = f"decodes {sign.payload.decode('ascii')!r}"
+        elif stats["mac_lost"] == stats["frames"]:
+            status = "lost every slot to ALOHA collisions"
+        else:
+            status = "frame not recovered"
+        print(f"  {stats['name']:10s} ({stats['delivery_rate']:.0%}) {status}")
+    print(
+        f"aggregate goodput {outcome['aggregate_goodput_bps']:.1f} bps "
+        f"across {outcome['n_devices']} signs "
+        f"({outcome['n_shared']} sharing one channel)"
+    )
 
 
 if __name__ == "__main__":

@@ -4,39 +4,46 @@
 Two users stand near a backscattering poster. Phone 1 tunes to the
 backscattered channel (fc + 600 kHz) and hears the ambient program plus
 the poster's audio; phone 2 tunes to the original station and hears only
-the program. Sharing audio over Wi-Fi Direct, the phones time-align
-(10x resampling + cross-correlation), calibrate gain with the 13 kHz
-pilot, and subtract — cancelling the ambient program entirely.
+the program. Sharing audio over Wi-Fi Direct, the phones time-align,
+calibrate gain with the 13 kHz pilot, and subtract — cancelling the
+ambient program entirely.
+
+The power sweep runs through the deployment layer as ``audio`` traffic
+with a cooperative receiver placement: one declared scenario, ambient
+program synthesized once for the whole grid, any sweep backend.
 
 Run:
     python examples/cooperative_listening.py
 """
 
-from repro.audio import speech_like
-from repro.audio.pesq import pesq_like
-from repro.constants import AUDIO_RATE_HZ
-from repro.experiments.common import ExperimentChain
-from repro.experiments.fig12_pesq_cooperative import simulate_two_phones
+import os
+
+from repro.engine import DeploymentScenario, DeviceSpec, ReceiverPlacement
 
 
-def main() -> None:
-    message = speech_like(2.0, AUDIO_RATE_HZ, rng=3, amplitude=0.9)
+def main(fast=None) -> None:
+    if fast is None:
+        fast = os.environ.get("REPRO_EXAMPLE_FAST", "") == "1"
+
+    powers_dbm = (-20.0, -40.0) if fast else (-20.0, -30.0, -40.0, -50.0)
+    deployment = DeploymentScenario(
+        name="coop-listening",
+        devices=(DeviceSpec(name="poster", distance_ft=4.0),),
+        traffic="audio",
+        receiver=ReceiverPlacement(cooperative=True),
+        station_stereo=False,
+        audio_seconds=0.8 if fast else 2.0,
+        axes={"power_dbm": powers_dbm},
+    )
+    result = deployment.run(rng=11)
 
     print("power   overlay-PESQ   cooperative-PESQ")
-    for power_dbm in (-20.0, -30.0, -40.0, -50.0):
-        # Baseline: one phone, overlay only (program remains audible).
-        chain = ExperimentChain(
-            program="news", power_dbm=power_dbm, distance_ft=4.0, stereo_decode=False
+    for power, value in zip(powers_dbm, result.values):
+        poster = value["per_device"][0]
+        print(
+            f"{power:6.0f}      {poster['overlay_pesq']:4.2f}            "
+            f"{poster['cooperative_pesq']:4.2f}"
         )
-        overlay_audio = chain.payload_channel(chain.transmit(message, rng=10))
-        overlay = pesq_like(message, overlay_audio, AUDIO_RATE_HZ)
-
-        # Cooperative: second phone cancels the program.
-        recovered, sync = simulate_two_phones(message, power_dbm, 4.0, rng=11)
-        n = min(message.size, recovered.size)
-        coop = pesq_like(message[:n], recovered[:n], AUDIO_RATE_HZ)
-
-        print(f"{power_dbm:6.0f}      {overlay:4.2f}            {coop:4.2f}")
 
     print("\ncooperative cancellation turns a PESQ-2 composite into")
     print("near-transparent audio until the FM threshold bites (~-60 dBm)")

@@ -18,6 +18,8 @@ Run:
     python examples/quickstart.py
 """
 
+import os
+
 from repro.audio import tone
 from repro.constants import AUDIO_RATE_HZ
 from repro.dsp import tone_snr_db
@@ -25,7 +27,10 @@ from repro.engine import Scenario, SweepSpec, run_scenario
 from repro.experiments.common import ExperimentChain
 
 
-def main() -> None:
+def main(fast=None) -> None:
+    if fast is None:
+        fast = os.environ.get("REPRO_EXAMPLE_FAST", "") == "1"
+
     # Ambient power at the device: -35 dBm, the level the paper measured
     # at a real bus stop. Receiver is a phone 8 feet away.
     chain = ExperimentChain(
@@ -36,7 +41,12 @@ def main() -> None:
         stereo_decode=False,
     )
 
-    payload = tone(1000.0, duration_s=1.0, sample_rate=AUDIO_RATE_HZ, amplitude=0.9)
+    payload = tone(
+        1000.0,
+        duration_s=0.3 if fast else 1.0,
+        sample_rate=AUDIO_RATE_HZ,
+        amplitude=0.9,
+    )
     received = chain.transmit(payload, rng=1)
     audio = chain.payload_channel(received)
 
@@ -46,17 +56,22 @@ def main() -> None:
     print("the 1 kHz tone is clearly audible over the news program"
           if snr > 0 else "tone buried — move closer or find a stronger station")
 
-    sweep()
+    sweep(fast)
 
 
-def sweep() -> None:
+def sweep(fast=False) -> None:
     """Declare a link-budget sweep and run it through the engine.
 
     Over program audio the tone SNR is interference-limited (the program
     *is* the noise), so — like the paper's Fig. 7 — the sweep backscatters
     over an unmodulated carrier to expose the power/distance dependence.
     """
-    payload = tone(1000.0, duration_s=0.5, sample_rate=AUDIO_RATE_HZ, amplitude=0.9)
+    payload = tone(
+        1000.0,
+        duration_s=0.2 if fast else 0.5,
+        sample_rate=AUDIO_RATE_HZ,
+        amplitude=0.9,
+    )
 
     def measure(run):
         received = run.chain.transmit(payload, run.rng)

@@ -10,6 +10,8 @@ Run:
     python examples/rds_broadcast.py
 """
 
+import os
+
 from repro.audio import program_material
 from repro.constants import AUDIO_RATE_HZ, MPX_RATE_HZ
 from repro.fm import compose_mpx, fm_demodulate, fm_modulate
@@ -17,8 +19,12 @@ from repro.fm.mpx import MpxComponents
 from repro.fm.rds import RdsDecoder, RdsEncoder
 
 
-def main() -> None:
-    duration = 1.5
+def main(fast=None) -> None:
+    if fast is None:
+        fast = os.environ.get("REPRO_EXAMPLE_FAST", "") == "1"
+    # Even in fast mode the broadcast must carry all four PS-name
+    # segments (group 0A), so the floor is ~0.5 s of RDS bitstream.
+    duration = 0.8 if fast else 1.5
     left, right = program_material("pop", duration, AUDIO_RATE_HZ, rng=9)
     encoder = RdsEncoder(
         pi_code=0x4B0F,

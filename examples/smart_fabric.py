@@ -1,40 +1,60 @@
 #!/usr/bin/env python
-"""Smart fabric (paper section 6.2): a shirt streaming vital signs.
+"""Smart fabric (paper section 6.2): shirts streaming vital signs.
 
-The sewn conductive-thread antenna backscatters heart rate, breathing
-rate and step count to the wearer's phone at 100 bps while the wearer
-stands, walks, and runs. Motion fades the link (Fig. 17b); the telemetry
-link retries like the real system would.
+Three wearers — standing, walking, running — each wear a shirt whose
+sewn conductive-thread antenna backscatters a telemetry frame to their
+phone at 100 bps. Motion fades the link (Fig. 17b), so each shirt gets a
+few frame retries. The fleet runs through the deployment layer: every
+shirt is a `DeviceSpec` (built by the fabric app itself), the channel
+plan gives each its own free channel, and the whole session is one
+engine sweep with a shared ambient-station synthesis.
 
 Run:
     python examples/smart_fabric.py
 """
 
+import os
+
 from repro.apps.fabric import SmartFabricSensor, VitalSigns
+from repro.engine import ChannelPlan, DeploymentScenario
 
 
-def main() -> None:
+def main(fast=None) -> None:
+    if fast is None:
+        fast = os.environ.get("REPRO_EXAMPLE_FAST", "") == "1"
+
     sessions = {
         "standing": VitalSigns(heart_rate_bpm=68, breathing_rate_bpm=14, step_count=0),
         "walking": VitalSigns(heart_rate_bpm=95, breathing_rate_bpm=20, step_count=1200),
         "running": VitalSigns(heart_rate_bpm=162, breathing_rate_bpm=38, step_count=5400),
     }
+    if fast:
+        sessions = {k: sessions[k] for k in ("standing", "running")}
 
-    for motion, vitals in sessions.items():
-        sensor = SmartFabricSensor(motion=motion, ambient_power_dbm=-37.0)
-        decoded = None
-        attempts = 0
-        while decoded is None and attempts < 3:
-            attempts += 1
-            decoded = sensor.transmit_vitals(vitals, distance_ft=3.0, rng=100 + attempts)
-        if decoded is None:
-            print(f"{motion:9s}: telemetry lost after {attempts} attempts")
+    shirts = tuple(
+        SmartFabricSensor(motion=motion, ambient_power_dbm=-37.0).device_spec(
+            vitals, distance_ft=3.0
+        )
+        for motion, vitals in sessions.items()
+    )
+    deployment = DeploymentScenario(
+        name="fabric",
+        devices=shirts,
+        plan=ChannelPlan(policy="dedicated"),
+        frames_per_device=1 if fast else 3,  # retries against deep fades
+    )
+    outcome = deployment.run(rng=100).values[0]
+
+    for (motion, vitals), stats in zip(sessions.items(), outcome["per_device"]):
+        if not stats["delivered"]:
+            print(f"{motion:9s}: telemetry lost after {stats['frames']} attempts")
             continue
         print(
-            f"{motion:9s}: HR {decoded.heart_rate_bpm:3d} bpm, "
-            f"breathing {decoded.breathing_rate_bpm:2d}/min, "
-            f"steps {decoded.step_count:5d}  "
-            f"({attempts} transmission{'s' if attempts > 1 else ''})"
+            f"{motion:9s}: HR {vitals.heart_rate_bpm:3d} bpm, "
+            f"breathing {vitals.breathing_rate_bpm:2d}/min, "
+            f"steps {vitals.step_count:5d}  "
+            f"({stats['delivered']}/{stats['frames']} frames through, "
+            f"channel {stats['channel']})"
         )
 
 

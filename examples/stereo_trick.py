@@ -15,6 +15,8 @@ Run:
     python examples/stereo_trick.py
 """
 
+import os
+
 from repro.audio import speech_like
 from repro.audio.pesq import pesq_like
 from repro.backscatter.device import BackscatterMode
@@ -22,8 +24,8 @@ from repro.constants import AUDIO_RATE_HZ
 from repro.experiments.common import ExperimentChain
 
 
-def run_case(label, station_stereo, mode, power_dbm):
-    message = speech_like(1.5, AUDIO_RATE_HZ, rng=3, amplitude=0.9)
+def run_case(label, station_stereo, mode, power_dbm, duration_s=1.5):
+    message = speech_like(duration_s, AUDIO_RATE_HZ, rng=3, amplitude=0.9)
     chain = ExperimentChain(
         program="news",
         station_stereo=station_stereo,
@@ -41,18 +43,23 @@ def run_case(label, station_stereo, mode, power_dbm):
     return score
 
 
-def main() -> None:
+def main(fast=None) -> None:
+    if fast is None:
+        fast = os.environ.get("REPRO_EXAMPLE_FAST", "") == "1"
+    duration_s = 0.5 if fast else 1.5
+
     print("overlay baseline (program interferes):")
-    message = speech_like(1.5, AUDIO_RATE_HZ, rng=3, amplitude=0.9)
+    message = speech_like(duration_s, AUDIO_RATE_HZ, rng=3, amplitude=0.9)
     chain = ExperimentChain(program="news", power_dbm=-20.0, distance_ft=4.0, stereo_decode=False)
     audio = chain.payload_channel(chain.transmit(message, rng=5))
     print(f"  overlay on news station            P=  -20 dBm  PESQ={pesq_like(message, audio, AUDIO_RATE_HZ):4.2f}")
 
     print("stereo backscatter:")
-    run_case("L-R stream of a stereo news station", True, BackscatterMode.STEREO, -20.0)
-    run_case("mono station + injected pilot", False, BackscatterMode.MONO_TO_STEREO, -20.0)
-    print("the low-power failure mode (pilot undetectable):")
-    run_case("mono station + injected pilot", False, BackscatterMode.MONO_TO_STEREO, -55.0)
+    run_case("L-R stream of a stereo news station", True, BackscatterMode.STEREO, -20.0, duration_s)
+    run_case("mono station + injected pilot", False, BackscatterMode.MONO_TO_STEREO, -20.0, duration_s)
+    if not fast:
+        print("the low-power failure mode (pilot undetectable):")
+        run_case("mono station + injected pilot", False, BackscatterMode.MONO_TO_STEREO, -55.0, duration_s)
 
 
 if __name__ == "__main__":

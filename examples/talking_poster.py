@@ -11,6 +11,7 @@ Run:
     python examples/talking_poster.py [output.wav]
 """
 
+import os
 import sys
 
 from repro.apps.poster import TalkingPoster
@@ -18,9 +19,12 @@ from repro.audio import music_like, write_wav
 from repro.constants import AUDIO_RATE_HZ
 
 
-def main() -> None:
+def main(fast=None, wav_path=None) -> None:
+    if fast is None:
+        fast = os.environ.get("REPRO_EXAMPLE_FAST", "") == "1"
+
     poster = TalkingPoster(
-        notification_text="SIMPLY THREE 50% OFF TONIGHT",
+        notification_text="3 SHOWS" if fast else "SIMPLY THREE 50% OFF TONIGHT",
         ambient_power_dbm=-37.0,  # measured at the paper's bus stop
     )
 
@@ -32,19 +36,20 @@ def main() -> None:
         print(f"  phone shows: {result.notification!r}")
         print(f"  preamble bit errors: {result.preamble_errors}")
 
-    print("== same notification into a parked car at 10 ft ==")
-    car = poster.broadcast_notification(distance_ft=10.0, receiver_kind="car", rng=43)
-    print(f"  car decodes: {car.notification!r}")
+    if not fast:
+        print("== same notification into a parked car at 10 ft ==")
+        car = poster.broadcast_notification(distance_ft=10.0, receiver_kind="car", rng=43)
+        print(f"  car decodes: {car.notification!r}")
 
     print("== music snippet overlaid on the news broadcast, 4 ft ==")
-    snippet = music_like(2.0, AUDIO_RATE_HZ, rng=7, amplitude=0.9)
+    snippet = music_like(0.5 if fast else 2.0, AUDIO_RATE_HZ, rng=7, amplitude=0.9)
     audio, received = poster.broadcast_audio(snippet, distance_ft=4.0, rng=44)
     print(f"  received {audio.size / AUDIO_RATE_HZ:.1f} s of composite audio")
 
-    if len(sys.argv) > 1:
-        write_wav(sys.argv[1], audio, int(AUDIO_RATE_HZ))
-        print(f"  wrote what the phone hears to {sys.argv[1]}")
+    if wav_path:
+        write_wav(wav_path, audio, int(AUDIO_RATE_HZ))
+        print(f"  wrote what the phone hears to {wav_path}")
 
 
 if __name__ == "__main__":
-    main()
+    main(wav_path=sys.argv[1] if len(sys.argv) > 1 else None)

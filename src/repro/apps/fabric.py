@@ -74,6 +74,31 @@ class SmartFabricSensor:
     ambient_power_dbm: float = -37.0
     motion: str = "standing"
 
+    def device_spec(
+        self,
+        vitals: VitalSigns,
+        distance_ft: float = 3.0,
+        name: Optional[str] = None,
+    ):
+        """This shirt as a deployment-layer device.
+
+        The returned :class:`~repro.engine.deployment.DeviceSpec`
+        carries the sensor's telemetry frame, its sewn antenna and its
+        mobility state, so a fleet of shirts can be swept through
+        :class:`~repro.engine.deployment.DeploymentScenario` (device
+        count / power / density as axes) instead of hand-rolled loops.
+        """
+        from repro.engine.deployment import DeviceSpec
+
+        return DeviceSpec(
+            name=name or f"shirt-{self.motion}",
+            payload=vitals.pack(),
+            power_dbm=self.ambient_power_dbm,
+            distance_ft=distance_ft,
+            motion=self.motion,
+            antenna=self.antenna,
+        )
+
     def transmit_vitals(
         self,
         vitals: VitalSigns,

@@ -71,6 +71,30 @@ class SlottedAlohaSimulator:
         idle = int(np.sum(per_slot == 0))
         return AlohaStats(n_slots, successes, collisions, idle)
 
+    def frame_outcome(self, n_slots: int, rng: RngLike = None) -> np.ndarray:
+        """One framed-ALOHA round: every device transmits exactly once.
+
+        Each device picks one of ``n_slots`` slots uniformly at random
+        (the framed variant deployments use for frame scheduling, as
+        opposed to :meth:`run`'s per-slot Bernoulli transmissions); a
+        device succeeds when no other device chose its slot.
+
+        Returns:
+            Boolean array of length ``n_devices``: per-device success.
+        """
+        if n_slots < 1:
+            raise ConfigurationError("n_slots must be >= 1")
+        gen = as_generator(rng)
+        slots = gen.integers(0, n_slots, size=self.n_devices)
+        counts = np.bincount(slots, minlength=n_slots)
+        return counts[slots] == 1
+
+    def framed_success_probability(self, n_slots: int) -> float:
+        """Analytic per-device framed-ALOHA success: ((m-1)/m)^(N-1)."""
+        if n_slots < 1:
+            raise ConfigurationError("n_slots must be >= 1")
+        return ((n_slots - 1) / n_slots) ** (self.n_devices - 1)
+
     def expected_throughput(self) -> float:
         """Analytic throughput: N p (1-p)^(N-1)."""
         p = self.transmit_probability

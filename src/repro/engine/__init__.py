@@ -42,6 +42,15 @@ The callable style (``chain_params`` / ``rng_keys`` lambdas) still works
 for in-process backends (``serial`` / ``thread`` / ``batched``'s
 fallback); only ``process`` requires the picklable spec form.
 
+Many-device deployments (:mod:`repro.engine.deployment`) build on the
+same machinery: a :class:`DeploymentScenario` (device roster +
+:class:`ChannelPlan` coexistence policy + receiver placement) compiles
+into a picklable Scenario whose axes include device count, per-device
+power, ALOHA slot count and sign density. Sweeps also shard:
+``SweepRunner.run(point_slice=(start, stop))`` executes a contiguous
+slice with the whole grid's pre-derived seeds, and
+:meth:`SweepResult.merge` stitches shards back bit-identically.
+
 Determinism contract: the per-point streams are pre-derived from the
 sweep generator in grid order (exactly the draws the legacy nested loops
 consumed), so results are bit-identical across all four backends and any
@@ -51,6 +60,14 @@ call sites.
 """
 
 from repro.engine.cache import AmbientCache, CachedAmbient, default_cache, payload_fingerprint
+from repro.engine.deployment import (
+    ChannelAssignment,
+    ChannelPlan,
+    DeploymentScenario,
+    DeviceSpec,
+    ReceiverPlacement,
+    make_roster,
+)
 from repro.engine.results import SweepResult, format_axis_value, power_key
 from repro.engine.runner import (
     BACKENDS,
@@ -77,9 +94,14 @@ __all__ = [
     "BACKENDS",
     "CachedAmbient",
     "CacheStore",
+    "ChannelAssignment",
+    "ChannelPlan",
+    "DeploymentScenario",
+    "DeviceSpec",
     "GridPoint",
     "PayloadSelector",
     "PointRun",
+    "ReceiverPlacement",
     "Scenario",
     "SweepResult",
     "SweepRunner",
@@ -88,6 +110,7 @@ __all__ = [
     "default_cache",
     "default_max_workers",
     "format_axis_value",
+    "make_roster",
     "payload_fingerprint",
     "power_key",
     "run_scenario",

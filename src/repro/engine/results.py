@@ -22,6 +22,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.engine.scenario import GridPoint, SweepSpec
+from repro.errors import ConfigurationError
 
 
 def format_axis_value(value: object) -> str:
@@ -74,6 +75,12 @@ class SweepResult:
         backend: which execution backend ran the grid; the batched
             backend reports how many points it vectorized, e.g.
             ``"batched[40/40]"``.
+        scenario_name: name of the scenario that produced the values;
+            :meth:`merge` refuses to stitch shards of different
+            scenarios (same-axes grids from unrelated experiments would
+            otherwise mix silently). Shards of one scenario must also
+            share the sweep seed — that part of the contract cannot be
+            checked here and is the caller's responsibility.
     """
 
     spec: SweepSpec
@@ -84,6 +91,73 @@ class SweepResult:
     cache_stats: Optional[Dict[str, int]] = None
     data: Dict[str, object] = field(default_factory=dict)
     backend: str = "serial"
+    scenario_name: str = ""
+
+    @classmethod
+    def merge(cls, *results: "SweepResult") -> "SweepResult":
+        """Stitch shard results back into one whole-grid result.
+
+        The inverse of running with ``point_slice``: each shard carries a
+        disjoint subset of one grid's points, and together they must
+        cover it completely (the merged result's ``series`` / ``grid`` /
+        ``value_at`` assume a full grid). Values are reordered into
+        row-major grid order regardless of shard order; ``elapsed_s``
+        sums, cache counters sum (``items`` takes the max — shards on a
+        shared store hold overlapping entries), and the ``data`` dict
+        comes from the first shard (every shard ran the same ``prepare``).
+        """
+        if not results:
+            raise ConfigurationError("merge needs at least one SweepResult")
+        spec = results[0].spec
+        for result in results[1:]:
+            if result.spec.axes != spec.axes:
+                raise ConfigurationError(
+                    "cannot merge results from different sweeps: "
+                    f"{result.spec.names} {result.spec.shape} vs "
+                    f"{spec.names} {spec.shape}"
+                )
+            if result.scenario_name != results[0].scenario_name:
+                raise ConfigurationError(
+                    "cannot merge shards of different scenarios: "
+                    f"{result.scenario_name!r} vs {results[0].scenario_name!r}"
+                )
+        by_index: Dict[int, Tuple[GridPoint, object]] = {}
+        for result in results:
+            for point, value in result:
+                if point.index in by_index:
+                    raise ConfigurationError(
+                        f"grid point {point.index} appears in more than one shard"
+                    )
+                by_index[point.index] = (point, value)
+        if len(by_index) != spec.n_points:
+            missing = sorted(set(range(spec.n_points)) - set(by_index))
+            raise ConfigurationError(
+                f"shards cover {len(by_index)} of {spec.n_points} grid "
+                f"points (missing indices {missing[:8]}{'...' if len(missing) > 8 else ''})"
+            )
+        ordered = [by_index[i] for i in range(spec.n_points)]
+
+        cache_stats: Optional[Dict[str, int]] = None
+        shard_stats = [r.cache_stats for r in results]
+        if all(stats is not None for stats in shard_stats):
+            cache_stats = {}
+            for stats in shard_stats:
+                for key, count in stats.items():
+                    if key == "items":
+                        cache_stats[key] = max(cache_stats.get(key, 0), count)
+                    else:
+                        cache_stats[key] = cache_stats.get(key, 0) + count
+        return cls(
+            spec=spec,
+            points=[p for p, _ in ordered],
+            values=[v for _, v in ordered],
+            elapsed_s=sum(r.elapsed_s for r in results),
+            n_workers=max(r.n_workers for r in results),
+            cache_stats=cache_stats,
+            data=results[0].data,
+            backend=f"merged[{len(results)}]",
+            scenario_name=results[0].scenario_name,
+        )
 
     def __len__(self) -> int:
         return len(self.values)
@@ -91,8 +165,17 @@ class SweepResult:
     def __iter__(self) -> Iterator[Tuple[GridPoint, object]]:
         return iter(zip(self.points, self.values))
 
+    def _require_full_grid(self) -> None:
+        if len(self.values) != self.spec.n_points:
+            raise KeyError(
+                f"result holds {len(self.values)} of {self.spec.n_points} grid "
+                "points (a point_slice shard?); merge shards with "
+                "SweepResult.merge before slicing"
+            )
+
     def value_at(self, **coords: object) -> object:
         """The value of the single point matching all of ``coords``."""
+        self._require_full_grid()
         matches = [v for p, v in self if all(p.coords[k] == c for k, c in coords.items())]
         if len(matches) != 1:
             raise KeyError(f"{coords} matches {len(matches)} grid points, expected 1")
@@ -111,6 +194,7 @@ class SweepResult:
             fixed: ``axis=value`` for the remaining axes; every axis
                 other than ``along`` must be pinned.
         """
+        self._require_full_grid()
         free = [n for n in self.spec.names if n != along and n not in fixed]
         if along not in self.spec.names:
             raise KeyError(f"no axis named {along!r} (have {self.spec.names})")
@@ -130,6 +214,7 @@ class SweepResult:
 
     def grid(self) -> np.ndarray:
         """Values reshaped to the sweep's grid shape (object dtype)."""
+        self._require_full_grid()
         arr = np.empty(len(self.values), dtype=object)
         arr[:] = self.values
         return arr.reshape(self.spec.shape)

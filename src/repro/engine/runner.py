@@ -41,10 +41,11 @@ survive the process.
 
 from __future__ import annotations
 
+import operator
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.engine.cache import AmbientCache, default_cache
 from repro.engine.execution import execute_point
@@ -143,7 +144,17 @@ class SweepRunner:
             return self.max_workers
         return min(8, os.cpu_count() or 1)
 
-    def run(self) -> SweepResult:
+    def run(self, point_slice: Optional[Tuple[int, int]] = None) -> SweepResult:
+        """Execute the grid (or one contiguous shard of it).
+
+        Args:
+            point_slice: optional ``(start, stop)`` half-open range over
+                ``spec.points()`` row-major order. Seeds (and the ambient
+                master) are always derived for the *whole* grid first, so
+                a shard's per-point streams are bit-identical to the same
+                points of a whole-grid run — shards executed anywhere can
+                be stitched back with :meth:`SweepResult.merge`.
+        """
         scenario = self.scenario
         gen = as_generator(self.rng)
 
@@ -161,6 +172,24 @@ class SweepRunner:
             derive_seed(masters[i], *scenario.point_rng_keys(point))
             for i, point in enumerate(points)
         ]
+        if point_slice is not None:
+            try:
+                start, stop = point_slice
+                # operator.index, like builtin slicing: numpy integers
+                # qualify, floats don't.
+                start, stop = operator.index(start), operator.index(stop)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"point_slice must be a (start, stop) pair of ints, "
+                    f"got {point_slice!r}"
+                ) from None
+            if not 0 <= start < stop <= len(points):
+                raise ConfigurationError(
+                    f"point_slice {point_slice!r} outside the grid's "
+                    f"{len(points)} points (need 0 <= start < stop <= n)"
+                )
+            points = points[start:stop]
+            seeds = seeds[start:stop]
 
         cache: Optional[AmbientCache] = None
         ambient_master = 0
@@ -228,6 +257,7 @@ class SweepRunner:
             cache_stats=cache_stats,
             data=data,
             backend=backend_label,
+            scenario_name=scenario.name,
         )
 
 

@@ -100,6 +100,36 @@ class BandScanner:
             return None
         return min(candidates)[1]
 
+    def allocate_channels(
+        self,
+        observations: Sequence[ChannelObservation],
+        source_channel: int,
+        n_channels: int,
+        max_shift_channels: int = 4,
+    ) -> List[int]:
+        """Allocate up to ``n_channels`` distinct free channels, quietest
+        first.
+
+        The multi-device generalization of
+        :meth:`best_backscatter_channel`: each pick removes its channel
+        from the pool, so a deployment's channel plan can hand every
+        device its own ``fback`` until the free channels in reach run
+        out. Returns fewer than ``n_channels`` entries when they do.
+        """
+        if n_channels < 1:
+            raise ConfigurationError("n_channels must be >= 1")
+        remaining = list(observations)
+        allocated: List[int] = []
+        while len(allocated) < n_channels and remaining:
+            channel = self.best_backscatter_channel(
+                remaining, source_channel, max_shift_channels
+            )
+            if channel is None:
+                break
+            allocated.append(channel)
+            remaining = [o for o in remaining if o.channel != channel]
+        return allocated
+
     @staticmethod
     def fback_for_channels(source_channel: int, target_channel: int) -> float:
         """The subcarrier frequency that maps source -> target channel."""

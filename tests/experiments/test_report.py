@@ -28,6 +28,7 @@ class TestReport:
             "## Fig. 11",
             "## Fig. 14",
             "## Fig. 17b",
+            "## Deployment scale-out",
             "## Power",
         ):
             assert heading in generated

@@ -1,0 +1,47 @@
+"""Smoke-run every example under its small-N fast mode.
+
+The examples are the repo's front door — and, being plain scripts, the
+only code the unit suites never import. Each example's ``main`` honors
+``REPRO_EXAMPLE_FAST=1`` (or ``main(fast=True)``) with a reduced grid /
+duration, so running them all stays test-suite friendly while still
+executing every line of driver logic end to end.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    # Registered so dataclasses/pickle introspection inside the module
+    # can resolve it while it executes.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+def test_every_example_is_covered():
+    # A new example must either gain a fast mode or be excluded here
+    # explicitly — silently skipping it is how examples rot.
+    assert EXAMPLES, "examples/ directory disappeared?"
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_main_runs_fast(name, capsys):
+    module = load_example(name)
+    assert hasattr(module, "main"), f"examples/{name}.py has no main()"
+    module.main(fast=True)
+    out = capsys.readouterr().out
+    assert out.strip(), f"examples/{name}.py printed nothing"
