@@ -16,13 +16,14 @@ from repro.dsp.resample import resample_by_ratio, resample_poly_exact
 from repro.dsp.goertzel import goertzel_power, goertzel_power_many
 from repro.dsp.spectrum import band_power, power_spectrum, tone_snr_db
 from repro.dsp.phase import frequency_to_phase, phase_to_frequency
-from repro.dsp.pll import PhaseLockedLoop, PLLResult
+from repro.dsp.pll import PhaseLockedLoop, PLLBatchResult, PLLResult
 from repro.dsp.agc import AutomaticGainControl
 from repro.dsp.windows import hann_window, raised_cosine_edges
 
 __all__ = [
     "AutomaticGainControl",
     "Biquad",
+    "PLLBatchResult",
     "PLLResult",
     "PhaseLockedLoop",
     "band_power",

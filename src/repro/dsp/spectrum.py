@@ -13,7 +13,7 @@ import numpy as np
 from scipy import signal as sp_signal
 
 from repro.errors import ConfigurationError
-from repro.utils.validation import ensure_positive, ensure_real
+from repro.utils.validation import ensure_positive, ensure_real_signal
 
 
 def power_spectrum(
@@ -22,17 +22,21 @@ def power_spectrum(
     """Welch power spectral density of a real signal.
 
     Args:
-        signal: real 1-D input.
+        signal: real input; 1-D, or 2-D ``(batch, samples)`` to estimate a
+            stack of waveforms along the last axis in one pass (each row
+            bit-identical to estimating it alone — the batched sweep
+            backend's pilot detection relies on this).
         sample_rate: sample rate in Hz.
         nperseg: Welch segment length (clipped to the signal length).
 
     Returns:
-        ``(freqs_hz, psd)`` arrays.
+        ``(freqs_hz, psd)`` arrays; ``psd`` carries the batch axis when
+        the input does.
     """
-    signal = ensure_real(signal, "signal")
+    signal = ensure_real_signal(signal, "signal")
     sample_rate = ensure_positive(sample_rate, "sample_rate")
-    nperseg = int(min(nperseg, signal.size))
-    freqs, psd = sp_signal.welch(signal, fs=sample_rate, nperseg=nperseg)
+    nperseg = int(min(nperseg, signal.shape[-1]))
+    freqs, psd = sp_signal.welch(signal, fs=sample_rate, nperseg=nperseg, axis=-1)
     return freqs, psd
 
 
@@ -42,11 +46,15 @@ def band_power(
     low_hz: float,
     high_hz: float,
     nperseg: int = 4096,
-) -> float:
+):
     """Total power of ``signal`` within ``[low_hz, high_hz]``.
 
     Integrates the Welch PSD over the band, so it is robust to spectral
     leakage from strong out-of-band components.
+
+    Returns:
+        A float for 1-D input; a ``(batch,)`` array of per-row band
+        powers for 2-D ``(batch, samples)`` input.
     """
     if high_hz <= low_hz:
         raise ConfigurationError(f"high_hz ({high_hz}) must exceed low_hz ({low_hz})")
@@ -57,7 +65,9 @@ def band_power(
             f"band [{low_hz}, {high_hz}] Hz contains no PSD bins at fs={sample_rate}"
         )
     df = freqs[1] - freqs[0]
-    return float(np.sum(psd[mask]) * df)
+    if psd.ndim == 1:
+        return float(np.sum(psd[mask]) * df)
+    return np.sum(psd[..., mask], axis=-1) * df
 
 
 def tone_snr_db(

@@ -6,9 +6,14 @@ noise) and the receiver's stochastic effects differ per point. This
 backend exploits that structurally: points are grouped by front-end key
 (program/mode/amplitude + payload + ambient variant), each group's
 envelope is stacked into a ``(points, samples)`` array, and the link
-noise scaling, FM discriminator, mono decode and audio low-pass run as
-single NumPy ops over the stack (:func:`repro.channel.link.transmit_batch`
-+ :func:`repro.receiver.fm_receiver.receive_mono_batch`).
+noise scaling, FM discriminator, audio decode and low-pass run as single
+NumPy ops over the stack (:func:`repro.channel.link.transmit_batch` +
+:func:`repro.receiver.fm_receiver.receive_mono_batch` /
+:func:`~repro.receiver.fm_receiver.receive_stereo_batch`). Stereo-capable
+receivers vectorize too: the 19 kHz pilot PLL advances an
+``(n_waveforms,)`` state vector per time step
+(:meth:`repro.dsp.pll.PhaseLockedLoop.track_batch`), so the Fig. 10/13
+stereo grids batch instead of falling back point by point.
 
 Bit-identity with the serial backend holds because (a) every stochastic
 draw still comes from the point's own pre-derived generators, in the
@@ -17,11 +22,12 @@ the vectorized DSP is the *same code path* the 1-D calls take — the
 engine's DSP layer processes 2-D inputs along the last axis with
 row-independent operations.
 
-Points the vectorized path cannot express — fading links, stereo
-decoding (a per-waveform PLL), scenarios without a declared payload or
-with caching disabled — fall back to the serial
+Points the vectorized path cannot express — fading links, receivers
+with de-emphasis, scenarios without a declared payload or with caching
+disabled — fall back to the serial
 :func:`~repro.engine.execution.execute_point`, so ``REPRO_SWEEP_BACKEND=
-batched`` is always safe to set globally.
+batched`` is always safe to set globally. The number of such fallbacks
+is surfaced as :attr:`repro.engine.results.SweepResult.n_fallbacks`.
 """
 
 from __future__ import annotations
@@ -36,7 +42,12 @@ from repro.engine.cache import AmbientCache
 from repro.engine.execution import execute_point, make_ambient
 from repro.engine.scenario import GridPoint, PointRun, Scenario
 from repro.errors import ConfigurationError
-from repro.receiver.fm_receiver import receive_mono_batch, supports_mono_batch
+from repro.receiver.fm_receiver import (
+    receive_mono_batch,
+    receive_stereo_batch,
+    supports_mono_batch,
+    supports_stereo_batch,
+)
 from repro.utils.rand import child_generator
 
 BATCH_MEMORY_ENV_VAR = "REPRO_BATCH_MAX_MB"
@@ -50,7 +61,7 @@ near the LLC beats one giant pass through DRAM (measured ~2.5x on the
 Fig. 8 grid)."""
 
 
-def _chunk_limit(n_samples: int) -> int:
+def _chunk_limit(n_samples: int, stereo: bool = False) -> int:
     """How many grid points fit one vectorized chunk under the memory cap."""
     raw = os.environ.get(BATCH_MEMORY_ENV_VAR, "").strip()
     try:
@@ -61,7 +72,9 @@ def _chunk_limit(n_samples: int) -> int:
         ) from None
     # Per point the pass holds roughly: complex rx row (16 B/sample), its
     # noise scratch (16), the demodulated MPX row (8) and audio tails.
-    bytes_per_point = n_samples * 48
+    # The stereo decode additionally carries the pilot band, stereo band,
+    # regenerated subcarrier and L-R difference at the MPX rate.
+    bytes_per_point = n_samples * (96 if stereo else 48)
     return max(1, int(budget_mb * 1e6 / max(bytes_per_point, 1)))
 
 
@@ -102,7 +115,7 @@ def run_batched_backend(
             continue
         chain = ExperimentChain(**scenario.chain_kwargs(point))
         payload = scenario.payload_for(point, data)
-        if chain.fading is not None or chain.stereo_decode:
+        if chain.fading is not None:
             fallback.append(i)
             continue
         chains[i] = chain
@@ -161,25 +174,35 @@ def _run_group(
 
     # One group can still mix receiver configurations (e.g. a
     # receiver-kind axis downstream of a shared front end); each
-    # homogeneous slice batches separately, and receivers the mono batch
-    # cannot express (the car radio always runs its stereo decoder, a
-    # per-waveform PLL) fall back individually.
+    # homogeneous slice batches separately — mono receivers through
+    # receive_mono_batch, stereo-capable ones (phone stereo decode, the
+    # car radio) through receive_stereo_batch's multi-waveform pilot PLL.
+    # Only receivers neither path expresses (de-emphasis) fall back.
     partitions: "Dict[tuple, List[int]]" = {}
     for pos, rx in enumerate(receivers):
-        if not supports_mono_batch(rx):
+        if supports_mono_batch(rx):
+            stereo = False
+        elif supports_stereo_batch(rx):
+            stereo = True
+        else:
             fallback.append(indices[pos])
             continue
-        sig = (type(rx), rx.mpx_rate, rx.audio_rate, rx.deviation_hz, rx.audio_cutoff_hz)
+        sig = (
+            type(rx), stereo, rx.mpx_rate, rx.audio_rate, rx.deviation_hz,
+            rx.audio_cutoff_hz,
+        )
         partitions.setdefault(sig, []).append(pos)
 
-    limit = _chunk_limit(iq.size)
-    for positions in partitions.values():
+    for sig, positions in partitions.items():
+        stereo = sig[1]
+        receive_batch = receive_stereo_batch if stereo else receive_mono_batch
+        limit = _chunk_limit(iq.size, stereo=stereo)
         for start in range(0, len(positions), limit):
             chunk = positions[start : start + limit]
             rx_iq = transmit_batch(
                 iq, [budgets[p] for p in chunk], [link_rngs[p] for p in chunk]
             )
-            received_rows = receive_mono_batch([receivers[p] for p in chunk], rx_iq)
+            received_rows = receive_batch([receivers[p] for p in chunk], rx_iq)
             for pos, received in zip(chunk, received_rows):
                 i = indices[pos]
                 # The group key pins the variant, so the group-level

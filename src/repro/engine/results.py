@@ -75,6 +75,10 @@ class SweepResult:
         backend: which execution backend ran the grid; the batched
             backend reports how many points it vectorized, e.g.
             ``"batched[40/40]"``.
+        n_fallbacks: how many points the batched backend executed through
+            the serial per-point fallback instead of a vectorized stack
+            (``0`` for a fully vectorized grid); ``None`` when a backend
+            without a fallback concept (serial/thread/process) ran.
         scenario_name: name of the scenario that produced the values;
             :meth:`merge` refuses to stitch shards of different
             scenarios (same-axes grids from unrelated experiments would
@@ -92,6 +96,7 @@ class SweepResult:
     data: Dict[str, object] = field(default_factory=dict)
     backend: str = "serial"
     scenario_name: str = ""
+    n_fallbacks: Optional[int] = None
 
     @classmethod
     def merge(cls, *results: "SweepResult") -> "SweepResult":
@@ -147,6 +152,9 @@ class SweepResult:
                         cache_stats[key] = max(cache_stats.get(key, 0), count)
                     else:
                         cache_stats[key] = cache_stats.get(key, 0) + count
+        n_fallbacks: Optional[int] = None
+        if all(r.n_fallbacks is not None for r in results):
+            n_fallbacks = sum(r.n_fallbacks for r in results)
         return cls(
             spec=spec,
             points=[p for p, _ in ordered],
@@ -157,6 +165,7 @@ class SweepResult:
             data=results[0].data,
             backend=f"merged[{len(results)}]",
             scenario_name=results[0].scenario_name,
+            n_fallbacks=n_fallbacks,
         )
 
     def __len__(self) -> int:

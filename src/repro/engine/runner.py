@@ -23,8 +23,10 @@
      the scenario's declarative (spec) form. The parent warms a shared
      disk store so workers skip ambient synthesis.
    - ``batched`` — groups points sharing one front end and runs the
-     link + mono receive math vectorized over a ``(points, samples)``
-     stack; unsupported points transparently fall back to serial.
+     link + receive math (mono and stereo decode alike, via the
+     multi-waveform pilot PLL) vectorized over a ``(points, samples)``
+     stack; unsupported points transparently fall back to serial and
+     are counted in ``SweepResult.n_fallbacks``.
 
 Select with the ``backend`` argument or the ``REPRO_SWEEP_BACKEND``
 environment variable; worker counts come from ``max_workers`` /
@@ -203,6 +205,7 @@ class SweepRunner:
 
         backend_label = self.backend
         n_workers = 1
+        n_fallbacks: Optional[int] = None
         start = time.perf_counter()
         if self.backend == "serial" or len(points) <= 1:
             # Pools and stacking buy nothing on a <=1-point grid; the
@@ -237,6 +240,7 @@ class SweepRunner:
                 scenario, data, points, seeds, cache, ambient_master
             )
             backend_label = f"batched[{n_batched}/{len(points)}]"
+            n_fallbacks = len(points) - n_batched
         elapsed = time.perf_counter() - start
 
         cache_stats = None
@@ -258,6 +262,7 @@ class SweepRunner:
             data=data,
             backend=backend_label,
             scenario_name=scenario.name,
+            n_fallbacks=n_fallbacks,
         )
 
 

@@ -25,6 +25,43 @@ _MODE_CHAINS = {
 }
 
 
+def build_scenario(
+    rate_label: str,
+    modem: FdmFskModem,
+    distances_ft: Sequence[float] = DEFAULT_DISTANCES_FT,
+    power_dbm: float = -30.0,
+    program: str = "news",
+    n_bits: int = 1600,
+) -> Scenario:
+    """The declarative sweep for one Fig. 10 rate panel.
+
+    Module-level so tests can execute the exact grid ``run()`` uses under
+    any backend (e.g. asserting the batched backend vectorizes the stereo
+    points with zero per-point fallbacks).
+    """
+
+    def prepare(gen):
+        bits = random_bits(n_bits, child_generator(gen, "payload", rate_label))
+        return {"bits": bits, "waveform": modem.modulate(bits)}
+
+    return Scenario(
+        name="fig10",
+        sweep=SweepSpec.grid(mode=("overlay", "stereo"), distance_ft=tuple(distances_ft)),
+        prepare=prepare,
+        base_chain={
+            "program": program,
+            "station_stereo": True,
+            "power_dbm": power_dbm,
+        },
+        chain_axes=("distance_ft",),
+        chain_value_params={"mode": _MODE_CHAINS},
+        rng_keys=(AxisRef("mode"), rate_label, AxisRef("distance_ft")),
+        payload="waveform",
+        measure=score_ber,
+        measure_params={"modem": modem},
+    )
+
+
 def run(
     distances_ft: Sequence[float] = DEFAULT_DISTANCES_FT,
     power_dbm: float = -30.0,
@@ -47,26 +84,13 @@ def run(
     # — deterministically, but not draw-for-draw.)
     for rate_label, symbol_rate in (("1.6k", 200), ("3.2k", 400)):
         modem = FdmFskModem(symbol_rate=symbol_rate)
-
-        def prepare(g, rate=rate_label, m=modem):
-            bits = random_bits(n_bits, child_generator(g, "payload", rate))
-            return {"bits": bits, "waveform": m.modulate(bits)}
-
-        scenario = Scenario(
-            name="fig10",
-            sweep=SweepSpec.grid(mode=("overlay", "stereo"), distance_ft=tuple(distances_ft)),
-            prepare=prepare,
-            base_chain={
-                "program": program,
-                "station_stereo": True,
-                "power_dbm": power_dbm,
-            },
-            chain_axes=("distance_ft",),
-            chain_value_params={"mode": _MODE_CHAINS},
-            rng_keys=(AxisRef("mode"), rate_label, AxisRef("distance_ft")),
-            payload="waveform",
-            measure=score_ber,
-            measure_params={"modem": modem},
+        scenario = build_scenario(
+            rate_label,
+            modem,
+            distances_ft=distances_ft,
+            power_dbm=power_dbm,
+            program=program,
+            n_bits=n_bits,
         )
         result = run_scenario(scenario, rng=gen)
         for mode_label in ("overlay", "stereo"):

@@ -36,6 +36,44 @@ def score_pesq_and_lock(run: PointRun) -> Tuple[float, bool]:
     )
 
 
+def build_scenario(
+    scenario: str = "stereo_station",
+    powers_dbm: Sequence[float] = DEFAULT_POWERS_DBM,
+    distances_ft: Sequence[float] = DEFAULT_DISTANCES_FT,
+    duration_s: float = 2.0,
+) -> Scenario:
+    """The declarative sweep for one Fig. 13 panel.
+
+    Module-level so tests can execute the exact grid ``run()`` uses under
+    any backend (the stereo decode at every point is what the batched
+    backend's multi-waveform pilot PLL exists for).
+    """
+    if scenario not in ("stereo_station", "mono_station"):
+        raise ValueError("scenario must be 'stereo_station' or 'mono_station'")
+    station_stereo = scenario == "stereo_station"
+    mode = BackscatterMode.STEREO if station_stereo else BackscatterMode.MONO_TO_STEREO
+
+    return Scenario(
+        name="fig13",
+        sweep=SweepSpec.grid(power_dbm=tuple(powers_dbm), distance_ft=tuple(distances_ft)),
+        prepare=lambda gen: {
+            "reference": speech_like(
+                duration_s, AUDIO_RATE_HZ, child_generator(gen, "speech"), amplitude=0.9
+            )
+        },
+        base_chain={
+            "program": "news",
+            "station_stereo": station_stereo,
+            "mode": mode,
+            "stereo_decode": True,
+        },
+        chain_axes=("power_dbm", "distance_ft"),
+        rng_keys=(scenario, AxisRef("power_dbm"), AxisRef("distance_ft")),
+        payload="reference",
+        measure=score_pesq_and_lock,
+    )
+
+
 def run(
     scenario: str = "stereo_station",
     powers_dbm: Sequence[float] = DEFAULT_POWERS_DBM,
@@ -54,30 +92,11 @@ def run(
         plus ``stereo_lock`` booleans per power level (fraction of runs
         where the receiver engaged stereo mode).
     """
-    if scenario not in ("stereo_station", "mono_station"):
-        raise ValueError("scenario must be 'stereo_station' or 'mono_station'")
-    scenario_label = scenario
-    station_stereo = scenario == "stereo_station"
-    mode = BackscatterMode.STEREO if station_stereo else BackscatterMode.MONO_TO_STEREO
-
-    sweep_scenario = Scenario(
-        name="fig13",
-        sweep=SweepSpec.grid(power_dbm=tuple(powers_dbm), distance_ft=tuple(distances_ft)),
-        prepare=lambda gen: {
-            "reference": speech_like(
-                duration_s, AUDIO_RATE_HZ, child_generator(gen, "speech"), amplitude=0.9
-            )
-        },
-        base_chain={
-            "program": "news",
-            "station_stereo": station_stereo,
-            "mode": mode,
-            "stereo_decode": True,
-        },
-        chain_axes=("power_dbm", "distance_ft"),
-        rng_keys=(scenario_label, AxisRef("power_dbm"), AxisRef("distance_ft")),
-        payload="reference",
-        measure=score_pesq_and_lock,
+    sweep_scenario = build_scenario(
+        scenario,
+        powers_dbm=powers_dbm,
+        distances_ft=distances_ft,
+        duration_s=duration_s,
     )
     result = run_scenario(sweep_scenario, rng=rng)
 

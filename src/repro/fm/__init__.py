@@ -10,7 +10,7 @@ from repro.fm.mpx import MpxComponents, compose_mpx, decompose_mpx
 from repro.fm.modulator import fm_modulate, fm_modulate_mpx
 from repro.fm.demodulator import fm_demodulate
 from repro.fm.pilot import detect_pilot, pilot_power_ratio_db
-from repro.fm.stereo import StereoAudio, decode_stereo
+from repro.fm.stereo import StereoAudio, decode_mono, decode_stereo, decode_stereo_batch
 from repro.fm.station import FMStation, StationConfig
 
 __all__ = [
@@ -21,7 +21,9 @@ __all__ = [
     "StationConfig",
     "StereoAudio",
     "compose_mpx",
+    "decode_mono",
     "decode_stereo",
+    "decode_stereo_batch",
     "decompose_mpx",
     "detect_pilot",
     "fm_demodulate",

@@ -12,7 +12,7 @@ from repro.dsp.biquad import deemphasis_filter
 from repro.dsp.filters import design_lowpass_fir, filter_signal
 from repro.errors import ConfigurationError
 from repro.fm.demodulator import fm_demodulate
-from repro.fm.stereo import StereoAudio, decode_mono, decode_stereo
+from repro.fm.stereo import StereoAudio, decode_mono, decode_stereo, decode_stereo_batch
 from repro.utils.validation import ensure_positive
 
 
@@ -133,6 +133,41 @@ def supports_mono_batch(receiver: FMReceiver) -> bool:
     return not receiver.stereo_capable and not receiver.apply_deemphasis
 
 
+def supports_stereo_batch(receiver: FMReceiver) -> bool:
+    """Whether :func:`receive_stereo_batch` can stand in for ``receive``."""
+    return receiver.stereo_capable and not receiver.apply_deemphasis
+
+
+def _require_uniform_batch(
+    receivers: Sequence[FMReceiver],
+    iq_batch: np.ndarray,
+    supports,
+    requirement: str,
+) -> None:
+    """Shared shape / configuration validation for the batch receive paths."""
+    if iq_batch.ndim != 2 or iq_batch.shape[0] != len(receivers):
+        raise ConfigurationError(
+            f"iq_batch must have shape (n_receivers, samples); got {iq_batch.shape} "
+            f"for {len(receivers)} receivers"
+        )
+    if not receivers:
+        return
+    ref = receivers[0]
+    for rx in receivers:
+        if not supports(rx):
+            raise ConfigurationError(requirement)
+        if (
+            rx.mpx_rate != ref.mpx_rate
+            or rx.audio_rate != ref.audio_rate
+            or rx.deviation_hz != ref.deviation_hz
+            or rx.audio_cutoff_hz != ref.audio_cutoff_hz
+        ):
+            raise ConfigurationError(
+                "all receivers in one batch must share mpx/audio rates, "
+                "deviation and audio cutoff"
+            )
+
+
 def receive_mono_batch(
     receivers: Sequence[FMReceiver], iq_batch: np.ndarray
 ) -> List[ReceivedAudio]:
@@ -158,30 +193,16 @@ def receive_mono_batch(
     """
     receivers = list(receivers)
     iq_batch = np.asarray(iq_batch)
-    if iq_batch.ndim != 2 or iq_batch.shape[0] != len(receivers):
-        raise ConfigurationError(
-            f"iq_batch must have shape (n_receivers, samples); got {iq_batch.shape} "
-            f"for {len(receivers)} receivers"
-        )
+    _require_uniform_batch(
+        receivers,
+        iq_batch,
+        supports_mono_batch,
+        "receive_mono_batch needs mono receivers without de-emphasis "
+        "(stereo-capable receivers batch through receive_stereo_batch)",
+    )
     if not receivers:
         return []
     ref = receivers[0]
-    for rx in receivers:
-        if not supports_mono_batch(rx):
-            raise ConfigurationError(
-                "receive_mono_batch needs mono receivers without de-emphasis "
-                "(stereo decoding is a per-waveform PLL)"
-            )
-        if (
-            rx.mpx_rate != ref.mpx_rate
-            or rx.audio_rate != ref.audio_rate
-            or rx.deviation_hz != ref.deviation_hz
-            or rx.audio_cutoff_hz != ref.audio_cutoff_hz
-        ):
-            raise ConfigurationError(
-                "all receivers in one batch must share mpx/audio rates, "
-                "deviation and audio cutoff"
-            )
 
     mpx_batch = fm_demodulate(iq_batch, ref.mpx_rate, ref.deviation_hz)
     audio_batch = decode_mono(mpx_batch, ref.mpx_rate, ref.audio_rate)
@@ -194,6 +215,70 @@ def receive_mono_batch(
             left=left,
             right=left.copy(),
             stereo_locked=False,
+            mpx=np.ascontiguousarray(mpx_row),
+            audio_rate=rx.audio_rate,
+        )
+        results.append(rx.apply_output_effects(received))
+    return results
+
+
+def receive_stereo_batch(
+    receivers: Sequence[FMReceiver], iq_batch: np.ndarray
+) -> List[ReceivedAudio]:
+    """Receive many envelopes through the shared stereo DSP in one pass.
+
+    The stereo counterpart of :func:`receive_mono_batch`: demodulation,
+    the pilot-gated stereo decode
+    (:func:`~repro.fm.stereo.decode_stereo_batch`, whose pilot PLL
+    advances every waveform's state vector per time step) and the audio
+    post-filter all run over the full ``(points, samples)`` stack.
+    Per-row pilot detection and lock decisions are preserved — a row
+    whose pilot is missing falls back to mono *inside* the batch, exactly
+    as ``receivers[i].receive(iq_batch[i])`` would. Receiver-specific
+    stochastic effects then run row by row through
+    :meth:`FMReceiver.apply_output_effects`, left before right, with each
+    receiver's own generator, so every row is bit-identical to the serial
+    receive.
+
+    Args:
+        receivers: one configured stereo-capable receiver per row
+            (without de-emphasis); all must share the DSP-relevant
+            configuration (rates, cutoff, deviation).
+        iq_batch: complex envelopes, shape ``(len(receivers), samples)``.
+
+    Returns:
+        One :class:`ReceivedAudio` per row, in order.
+    """
+    receivers = list(receivers)
+    iq_batch = np.asarray(iq_batch)
+    _require_uniform_batch(
+        receivers,
+        iq_batch,
+        supports_stereo_batch,
+        "receive_stereo_batch needs stereo-capable receivers without "
+        "de-emphasis (mono receivers batch through receive_mono_batch)",
+    )
+    if not receivers:
+        return []
+    ref = receivers[0]
+
+    mpx_batch = fm_demodulate(iq_batch, ref.mpx_rate, ref.deviation_hz)
+    decoded = decode_stereo_batch(mpx_batch, ref.mpx_rate, ref.audio_rate)
+    # All rows share one MPX length, so the decoder's outputs stack; the
+    # serial receive post-processes left then right, and both are
+    # deterministic filters, so batching each channel separately keeps
+    # every row bit-identical.
+    left_batch = ref._post_process(np.stack([audio.left for audio in decoded]))
+    right_batch = ref._post_process(np.stack([audio.right for audio in decoded]))
+
+    results: List[ReceivedAudio] = []
+    for rx, audio, left_row, right_row, mpx_row in zip(
+        receivers, decoded, left_batch, right_batch, mpx_batch
+    ):
+        received = ReceivedAudio(
+            left=np.ascontiguousarray(left_row),
+            right=np.ascontiguousarray(right_row),
+            stereo_locked=audio.stereo_locked,
             mpx=np.ascontiguousarray(mpx_row),
             audio_rate=rx.audio_rate,
         )

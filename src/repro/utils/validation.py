@@ -60,6 +60,18 @@ def ensure_real(signal: np.ndarray, name: str = "signal") -> np.ndarray:
     return arr
 
 
+def ensure_real_signal(signal: np.ndarray, name: str = "signal") -> np.ndarray:
+    """Return ``signal`` as a real 1-D waveform or 2-D ``(batch, samples)`` stack.
+
+    The batch-capable counterpart of :func:`ensure_real`, for DSP entry
+    points that process stacks along the last axis.
+    """
+    arr = ensure_signal(signal, name)
+    if np.iscomplexobj(arr):
+        raise SignalError(f"{name} must be real-valued")
+    return arr
+
+
 def ensure_equal_length(a: np.ndarray, b: np.ndarray, names: str = "signals") -> None:
     """Raise :class:`SignalError` unless the two arrays have equal length."""
     if len(a) != len(b):

@@ -1,10 +1,11 @@
-"""PLL tests: lock, tracking, harmonics."""
+"""PLL tests: lock, tracking, harmonics, and the multi-waveform batch."""
 
 import numpy as np
 import pytest
 
-from repro.dsp.pll import PhaseLockedLoop
-from repro.errors import ConfigurationError
+from repro.dsp.pll import MIN_VECTOR_WAVEFORMS, PhaseLockedLoop, PLLBatchResult
+from repro.errors import ConfigurationError, SignalError
+from repro.fm.pilot import PILOT_DETECT_THRESHOLD_DB
 
 FS = 96_000.0
 
@@ -65,3 +66,120 @@ class TestConfig:
     def test_rejects_center_above_nyquist(self):
         with pytest.raises(ConfigurationError):
             PhaseLockedLoop(60_000, FS)
+
+
+class TestTrackBatch:
+    """track_batch advances independent per-waveform state vectors, so
+    every row must be bit-identical to tracking that waveform alone —
+    the invariant the batched sweep backend's stereo decode rests on."""
+
+    @staticmethod
+    def _assert_rows_match_track(pll, stack):
+        batch = pll.track_batch(stack)
+        for i in range(stack.shape[0]):
+            single = pll.track(stack[i])
+            assert np.array_equal(batch.phase[i], single.phase), i
+            assert np.array_equal(batch.frequency_hz[i], single.frequency_hz), i
+            assert bool(batch.locked[i]) == single.locked, i
+            assert float(batch.amplitude[i]) == single.amplitude, i
+
+    def test_random_stack_rows_bit_identical_to_track(self, rng):
+        # Wide enough to take the vector loop (not the narrow-stack
+        # delegation), with amplitudes and offsets scattered per row.
+        t = np.arange(int(0.25 * FS)) / FS
+        stack = np.stack(
+            [
+                rng.uniform(0.05, 1.0)
+                * np.cos(2 * np.pi * (19_000 + offset) * t + rng.uniform(0, 2 * np.pi))
+                + 0.02 * rng.standard_normal(t.size)
+                for offset in (0.0, 4.0, -3.0, 8.0, -7.0, 2.0, 5.5, -1.0)
+            ]
+        )
+        assert stack.shape[0] >= MIN_VECTOR_WAVEFORMS
+        self._assert_rows_match_track(PhaseLockedLoop(19_000, FS), stack)
+
+    def test_single_waveform_batch_matches_track(self):
+        t = np.arange(int(0.2 * FS)) / FS
+        stack = 0.1 * np.cos(2 * np.pi * 19_000 * t)[np.newaxis, :]
+        self._assert_rows_match_track(PhaseLockedLoop(19_000, FS), stack)
+
+    def test_mixed_lock_outcomes_in_one_batch(self):
+        # Strong pilots, silent rows and far-off-frequency rows must
+        # keep their individual lock decisions inside one vector-loop
+        # batch.
+        t = np.arange(int(0.3 * FS)) / FS
+        stack = np.stack(
+            [
+                0.1 * np.cos(2 * np.pi * 19_000 * t),
+                1e-9 * np.ones(t.size),
+                0.1 * np.cos(2 * np.pi * 26_000 * t),
+                0.5 * np.cos(2 * np.pi * 19_000 * t + 1.3),
+                np.zeros(t.size),
+                0.25 * np.cos(2 * np.pi * 19_004 * t),
+            ]
+        )
+        assert stack.shape[0] >= MIN_VECTOR_WAVEFORMS
+        batch = PhaseLockedLoop(19_000, FS).track_batch(stack)
+        assert bool(batch.locked[0])
+        assert not bool(batch.locked[2])
+        assert bool(batch.locked[3])
+        self._assert_rows_match_track(PhaseLockedLoop(19_000, FS), stack)
+
+    def test_pilot_powers_around_detect_threshold(self, rng):
+        # Pilot amplitudes straddling the stereo detect threshold (a
+        # fixed guard-band noise floor, pilots from ~8 dB below to ~8 dB
+        # above it) — the regime the Fig. 13 power axis sweeps through.
+        t = np.arange(int(0.3 * FS)) / FS
+        noise = 0.02 * rng.standard_normal(t.size)
+        ratios_db = np.array([-8.0, -4.0, -2.0, 0.0, 2.0, 4.0, 8.0]) + PILOT_DETECT_THRESHOLD_DB
+        amplitudes = 0.002 * 10.0 ** (ratios_db / 20.0)
+        stack = np.stack(
+            [a * np.cos(2 * np.pi * 19_000 * t) + noise for a in amplitudes]
+        )
+        assert stack.shape[0] >= MIN_VECTOR_WAVEFORMS
+        self._assert_rows_match_track(PhaseLockedLoop(19_000, FS), stack)
+
+    def test_narrow_stack_delegation_matches_track(self, rng):
+        # Below MIN_VECTOR_WAVEFORMS the batch delegates to per-row
+        # scalar loops; results must be indistinguishable.
+        t = np.arange(int(0.2 * FS)) / FS
+        stack = np.stack(
+            [
+                0.1 * np.cos(2 * np.pi * 19_000 * t) + 0.01 * rng.standard_normal(t.size)
+                for _ in range(MIN_VECTOR_WAVEFORMS - 1)
+            ]
+        )
+        self._assert_rows_match_track(PhaseLockedLoop(19_000, FS), stack)
+
+    def test_empty_batch_returns_empty_results(self):
+        batch = PhaseLockedLoop(19_000, FS).track_batch(np.empty((0, 128)))
+        assert batch.phase.shape == (0, 128)
+        assert batch.frequency_hz.shape == (0, 128)
+        assert batch.locked.shape == (0,)
+        assert batch.amplitude.shape == (0,)
+
+    def test_rejects_zero_length_waveforms_like_track(self):
+        pll = PhaseLockedLoop(19_000, FS)
+        with pytest.raises(SignalError):
+            pll.track(np.empty(0))
+        with pytest.raises(SignalError):
+            pll.track_batch(np.empty((3, 0)))
+
+    def test_rejects_non_2d_and_complex_input(self):
+        pll = PhaseLockedLoop(19_000, FS)
+        with pytest.raises(SignalError):
+            pll.track_batch(np.zeros(64))
+        with pytest.raises(SignalError):
+            pll.track_batch(np.zeros((2, 64), dtype=complex))
+
+    def test_row_view_and_harmonics(self):
+        t = np.arange(int(0.2 * FS)) / FS
+        stack = np.stack([0.1 * np.cos(2 * np.pi * 19_000 * t)] * 2)
+        batch = PhaseLockedLoop(19_000, FS).track_batch(stack)
+        assert isinstance(batch, PLLBatchResult)
+        row = batch.row(1)
+        assert np.array_equal(row.phase, batch.phase[1])
+        assert np.array_equal(batch.reference(), np.cos(batch.phase))
+        assert np.array_equal(batch.reference_harmonic(2), np.cos(2 * batch.phase))
+        with pytest.raises(ConfigurationError):
+            batch.reference_harmonic(0)

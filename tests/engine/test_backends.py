@@ -3,7 +3,9 @@
 The engine's contract: the per-point streams are pre-derived from the
 sweep generator, so ``serial``, ``thread``, ``process`` and ``batched``
 execution return bit-identical results — on a data-BER scenario
-(Fig. 8) and an audio-metric scenario (Fig. 7) alike.
+(Fig. 8), an audio-metric scenario (Fig. 7) and the stereo-decoding
+scenarios (Fig. 10/13, whose pilot PLL the batched backend vectorizes
+through the multi-waveform ``track_batch``) alike.
 """
 
 import numpy as np
@@ -11,6 +13,7 @@ import pytest
 
 from repro.audio.tones import tone
 from repro.constants import AUDIO_RATE_HZ
+from repro.data.fdm import FdmFskModem
 from repro.engine import (
     AmbientCache,
     AxisRef,
@@ -22,6 +25,8 @@ from repro.engine import (
 from repro.errors import ConfigurationError
 from repro.experiments import fig07_snr_distance as fig07
 from repro.experiments import fig08_ber_overlay as fig08
+from repro.experiments import fig10_stereo_ber as fig10
+from repro.experiments import fig13_pesq_stereo as fig13
 
 SEED = 2017
 BACKENDS = ("serial", "thread", "process", "batched")
@@ -37,6 +42,13 @@ FIG07_KWARGS = dict(
     powers_dbm=(-30.0, -60.0),
     distances_ft=(2, 8),
     duration_s=0.15,
+    rng=SEED,
+)
+FIG10_KWARGS = dict(distances_ft=(2, 4), n_bits=48, rng=SEED)
+FIG13_KWARGS = dict(
+    powers_dbm=(-20.0, -40.0),
+    distances_ft=(1, 4),
+    duration_s=0.2,
     rng=SEED,
 )
 
@@ -83,11 +95,35 @@ class TestBackendEquivalence:
         for backend in BACKENDS[1:]:
             assert fig07_by_backend[backend] == serial, backend
 
+    def test_stereo_ber_scenario_identical_across_backends(self):
+        # Fig. 10 mixes overlay (mono decode) and stereo (pilot PLL)
+        # points in one grid; all four backends must agree bit for bit.
+        by_backend = {
+            backend: self._run_with_backend(fig10.run, FIG10_KWARGS, backend)
+            for backend in BACKENDS
+        }
+        serial = by_backend["serial"]
+        for backend in BACKENDS[1:]:
+            assert by_backend[backend] == serial, backend
+
+    def test_stereo_pesq_scenario_identical_across_backends(self):
+        # Fig. 13 stereo-decodes at every point, with the pilot gate
+        # flipping between lock and mono fallback across the power axis.
+        by_backend = {
+            backend: self._run_with_backend(fig13.run, FIG13_KWARGS, backend)
+            for backend in BACKENDS
+        }
+        serial = by_backend["serial"]
+        for backend in BACKENDS[1:]:
+            assert by_backend[backend] == serial, backend
+
     def test_batched_handles_mixed_receivers_in_one_front_end_group(self):
         # A receiver-kind axis shares one front end across phone and car
-        # points; the batched backend must vectorize the phone half, fall
-        # back per point on the car half (whose radio always runs its
-        # stereo-decoder PLL), and stay bit-identical to serial.
+        # points; the batched backend must partition the group — the mono
+        # phone half through receive_mono_batch, the car half (whose
+        # radio always runs its stereo decoder) through the
+        # multi-waveform-PLL stereo batch — and stay bit-identical to
+        # serial with zero per-point fallbacks.
         payload = tone(1000.0, 0.1, AUDIO_RATE_HZ, amplitude=0.9)
         scenario = Scenario(
             name="mixed",
@@ -111,7 +147,45 @@ class TestBackendEquivalence:
             scenario, rng=SEED, cache=AmbientCache(), backend="batched"
         ).run()
         assert batched.values == serial.values
-        assert batched.backend == "batched[2/4]"
+        assert batched.backend == "batched[4/4]"
+        assert batched.n_fallbacks == 0
+        assert serial.n_fallbacks is None
+
+    def test_fig10_batched_takes_zero_stereo_fallbacks(self):
+        # The acceptance bar for the multi-waveform pilot PLL: the exact
+        # Fig. 10 grid vectorizes completely — no per-point fallback on
+        # the stereo-decoding half — and matches serial bit for bit.
+        scenario = fig10.build_scenario(
+            "1.6k", FdmFskModem(symbol_rate=200), distances_ft=(2, 4), n_bits=48
+        )
+        serial = SweepRunner(
+            scenario, rng=SEED, cache=AmbientCache(), backend="serial"
+        ).run()
+        batched = SweepRunner(
+            scenario, rng=SEED, cache=AmbientCache(), backend="batched"
+        ).run()
+        assert batched.backend == "batched[4/4]"
+        assert batched.n_fallbacks == 0
+        assert batched.values == serial.values
+
+    def test_fig13_batched_takes_zero_stereo_fallbacks(self):
+        scenario = fig13.build_scenario(
+            "stereo_station",
+            powers_dbm=(-20.0, -40.0),
+            distances_ft=(1, 4),
+            duration_s=0.2,
+        )
+        serial = SweepRunner(
+            scenario, rng=SEED, cache=AmbientCache(), backend="serial"
+        ).run()
+        batched = SweepRunner(
+            scenario, rng=SEED, cache=AmbientCache(), backend="batched"
+        ).run()
+        assert batched.backend == "batched[4/4]"
+        assert batched.n_fallbacks == 0
+        assert batched.values == serial.values
+        # The grid must actually exercise the stereo decoder.
+        assert any(locked for _, locked in batched.values)
 
     def test_batched_backend_reports_vectorized_points(self):
         payload = tone(1000.0, 0.1, AUDIO_RATE_HZ, amplitude=0.9)

@@ -99,9 +99,12 @@ class TestSerialParallelLegacyParity:
         assert result.cache_stats is None
 
     def test_serial_and_parallel_identical_uncached(self, payload):
+        # Backends pinned explicitly: this test is about serial-vs-thread
+        # parity and must not change meaning when REPRO_SWEEP_BACKEND
+        # forces a different backend (CI runs a batched-backend leg).
         scenario = _snr_scenario(payload, cache_ambient=False)
-        serial = SweepRunner(scenario, rng=SEED, max_workers=1).run()
-        parallel = SweepRunner(scenario, rng=SEED, max_workers=4).run()
+        serial = SweepRunner(scenario, rng=SEED, max_workers=1, backend="serial").run()
+        parallel = SweepRunner(scenario, rng=SEED, max_workers=4, backend="thread").run()
         assert serial.values == parallel.values
         assert serial.n_workers == 1 and parallel.n_workers == 4
 

@@ -6,9 +6,10 @@ import pytest
 from repro.audio.tones import tone
 from repro.constants import AUDIO_RATE_HZ, MPX_RATE_HZ
 from repro.dsp.spectrum import tone_snr_db
+from repro.errors import SignalError
 from repro.fm.mpx import MpxComponents, compose_mpx
 from repro.fm.pilot import detect_pilot, pilot_power_ratio_db
-from repro.fm.stereo import decode_stereo
+from repro.fm.stereo import decode_stereo, decode_stereo_batch
 
 
 def stereo_mpx(left_hz=1000, right_hz=3000, duration=0.5):
@@ -61,3 +62,51 @@ class TestStereoDecode:
     def test_mono_property(self):
         audio = decode_stereo(stereo_mpx())
         assert audio.mono.size == audio.left.size
+
+
+def mono_mpx(freq_hz=1000, duration=0.5):
+    left = tone(freq_hz, duration, AUDIO_RATE_HZ, amplitude=0.8)
+    return compose_mpx(MpxComponents(left=left, right=None))
+
+
+class TestBatchedPilotDetection:
+    def test_batch_ratios_match_per_row(self):
+        stack = np.stack([stereo_mpx(), mono_mpx()])
+        ratios = pilot_power_ratio_db(stack, MPX_RATE_HZ)
+        assert ratios.shape == (2,)
+        assert ratios[0] == pilot_power_ratio_db(stack[0], MPX_RATE_HZ)
+        assert ratios[1] == pilot_power_ratio_db(stack[1], MPX_RATE_HZ)
+
+    def test_batch_detection_matches_per_row(self):
+        stack = np.stack([stereo_mpx(), mono_mpx()])
+        detected = detect_pilot(stack, MPX_RATE_HZ)
+        assert detected.tolist() == [True, False]
+
+
+class TestStereoDecodeBatch:
+    def test_rows_bit_identical_to_scalar_decode(self):
+        # A locked stereo row, a mono-fallback row and a second stereo
+        # row with different content — each must decode exactly as alone.
+        stack = np.stack([stereo_mpx(), mono_mpx(), stereo_mpx(500, 4000)])
+        batch = decode_stereo_batch(stack, MPX_RATE_HZ)
+        assert [audio.stereo_locked for audio in batch] == [True, False, True]
+        for row, audio in enumerate(batch):
+            single = decode_stereo(stack[row], MPX_RATE_HZ)
+            assert np.array_equal(audio.left, single.left), row
+            assert np.array_equal(audio.right, single.right), row
+            assert audio.stereo_locked == single.stereo_locked, row
+
+    def test_force_stereo_applies_to_every_row(self):
+        stack = np.stack([stereo_mpx(), mono_mpx()])
+        batch = decode_stereo_batch(stack, MPX_RATE_HZ, force_stereo=True)
+        assert all(audio.stereo_locked for audio in batch)
+        for row, audio in enumerate(batch):
+            single = decode_stereo(stack[row], MPX_RATE_HZ, force_stereo=True)
+            assert np.array_equal(audio.left, single.left), row
+
+    def test_empty_batch(self):
+        assert decode_stereo_batch(np.empty((0, 4096)), MPX_RATE_HZ) == []
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(SignalError):
+            decode_stereo_batch(stereo_mpx(), MPX_RATE_HZ)

@@ -6,9 +6,17 @@ import pytest
 from repro.audio.tones import tone
 from repro.constants import AUDIO_RATE_HZ
 from repro.dsp.spectrum import tone_snr_db
+from repro.errors import ConfigurationError
 from repro.fm.mpx import MpxComponents, compose_mpx
 from repro.fm.modulator import fm_modulate
-from repro.receiver.fm_receiver import FMReceiver
+from repro.receiver.car import CarReceiver
+from repro.receiver.fm_receiver import (
+    FMReceiver,
+    receive_stereo_batch,
+    supports_mono_batch,
+    supports_stereo_batch,
+)
+from repro.receiver.smartphone import SmartphoneReceiver
 
 
 def broadcast_iq(left_hz=1000, right_hz=None, duration=0.5):
@@ -53,3 +61,57 @@ class TestReceive:
         assert np.allclose(
             received.difference, 0.5 * (received.left - received.right)
         )
+
+
+class TestReceiveStereoBatch:
+    def test_rows_bit_identical_to_serial_receive(self):
+        # One stereo broadcast, one mono broadcast (pilot absent -> the
+        # row falls back to mono inside the batch), decoded together.
+        iq_batch = np.stack([broadcast_iq(1000, 3000), broadcast_iq(2000)])
+        receivers = [FMReceiver(), FMReceiver()]
+        rows = receive_stereo_batch(receivers, iq_batch)
+        assert [r.stereo_locked for r in rows] == [True, False]
+        for i in range(2):
+            serial = FMReceiver().receive(iq_batch[i])
+            assert np.array_equal(rows[i].left, serial.left), i
+            assert np.array_equal(rows[i].right, serial.right), i
+            assert rows[i].stereo_locked == serial.stereo_locked, i
+            assert np.array_equal(rows[i].mpx, serial.mpx), i
+
+    def test_stochastic_receivers_draw_per_row(self):
+        # Smartphone codec noise and the car cabin path draw from each
+        # receiver's own generator, so a batch with per-row seeds must
+        # match per-row serial receives exactly.
+        iq_batch = np.stack([broadcast_iq(1000, 3000), broadcast_iq(1000, 3000)])
+        for build in (
+            lambda seed: SmartphoneReceiver(rng=seed),
+            lambda seed: CarReceiver(rng=seed),
+        ):
+            rows = receive_stereo_batch([build(5), build(6)], iq_batch)
+            for i, seed in enumerate((5, 6)):
+                serial = build(seed).receive(iq_batch[i])
+                assert np.array_equal(rows[i].left, serial.left), (build, i)
+                assert np.array_equal(rows[i].right, serial.right), (build, i)
+
+    def test_support_predicates(self):
+        assert supports_stereo_batch(FMReceiver())
+        assert not supports_stereo_batch(FMReceiver(stereo_capable=False))
+        assert not supports_stereo_batch(FMReceiver(apply_deemphasis=True))
+        assert supports_stereo_batch(CarReceiver())
+        assert supports_mono_batch(FMReceiver(stereo_capable=False))
+        assert not supports_mono_batch(FMReceiver())
+
+    def test_rejects_mono_receivers(self):
+        iq_batch = np.stack([broadcast_iq(1000)])
+        with pytest.raises(ConfigurationError):
+            receive_stereo_batch([FMReceiver(stereo_capable=False)], iq_batch)
+
+    def test_rejects_mixed_configuration(self):
+        iq_batch = np.stack([broadcast_iq(1000, 3000)] * 2)
+        with pytest.raises(ConfigurationError):
+            receive_stereo_batch(
+                [FMReceiver(), FMReceiver(audio_cutoff_hz=5000.0)], iq_batch
+            )
+
+    def test_empty_batch(self):
+        assert receive_stereo_batch([], np.empty((0, 1024), dtype=complex)) == []
