@@ -6,12 +6,31 @@ its distance to the phone, and body shadowing, producing a slowly varying
 amplitude on the backscatter link. We model this as Rician fading whose
 Doppler bandwidth scales with gait cadence and whose K-factor (line-of-
 sight dominance) drops with speed.
+
+Two usage shapes:
+
+- :class:`BodyMotionFading` — a stateful generator holding its own RNG;
+  successive :meth:`~BodyMotionFading.envelope` calls advance that
+  stream. :meth:`~BodyMotionFading.envelope_batch` produces the next
+  ``n_rows`` envelopes as one vectorized stack, bit-identical per row to
+  the successive scalar calls.
+- :class:`MotionFadingSpec` — a frozen, picklable *declaration* of the
+  same fading, resolved per transmission from the link's own generator
+  (``build``). Scenarios that put a spec (rather than a live model) in
+  their chain kwargs stay order-independent across sweep backends, which
+  is what lets the batched backend vectorize fading grids with zero
+  per-point fallbacks.
+
+:func:`stack_envelopes` is the engine-facing batch entry point: it draws
+every model's Gaussian innovations in caller order (preserving each
+model's stream exactly) and then runs the Doppler shaping, Rician
+combination and normalization for all rows as stacked array ops.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -47,6 +66,71 @@ MOTION_PROFILES: Dict[str, MotionProfile] = {
 """The three mobility states of paper Fig. 17b."""
 
 
+def _resolve_profile(profile: Union[str, MotionProfile]) -> MotionProfile:
+    """Normalize a profile name / instance, with the standard errors."""
+    if isinstance(profile, str):
+        if profile not in MOTION_PROFILES:
+            raise ConfigurationError(
+                f"unknown motion profile {profile!r}; choose from {sorted(MOTION_PROFILES)}"
+            )
+        return MOTION_PROFILES[profile]
+    if not isinstance(profile, MotionProfile):
+        raise ConfigurationError("profile must be a name or MotionProfile")
+    return profile
+
+
+def _internal_grid(profile: MotionProfile, n_samples: int, sample_rate: float) -> Tuple[float, int]:
+    """The low internal rate and length the scattered process is built at."""
+    internal_rate = max(20.0 * profile.doppler_hz, 50.0)
+    n_internal = max(int(np.ceil(n_samples * internal_rate / sample_rate)) + 8, 64)
+    return internal_rate, n_internal
+
+
+def _shape_envelopes(
+    profile: MotionProfile,
+    raws: np.ndarray,
+    internal_rate: float,
+    n_samples: int,
+) -> np.ndarray:
+    """Doppler-shape raw innovations into normalized Rician envelopes.
+
+    Args:
+        profile: the mobility state shared by every row.
+        raws: complex innovations, shape ``(rows, n_internal)`` — each
+            row exactly the two ``standard_normal`` draws the scalar
+            :meth:`BodyMotionFading.envelope` makes.
+        internal_rate: the rows' internal sample rate.
+        n_samples: output envelope length per row.
+
+    Returns:
+        Envelopes of shape ``(rows, n_samples)``. Every operation is the
+        2-D form of the scalar path's expression (same association
+        order, reductions along the last axis), so each row is
+        bit-identical to the scalar computation on the same draws.
+    """
+    k_linear = 10.0 ** (profile.k_factor_db / 10.0)
+    specular = np.sqrt(k_linear / (k_linear + 1.0))
+    scattered_power = 1.0 / (k_linear + 1.0)
+
+    cutoff = min(profile.doppler_hz, internal_rate / 2 * 0.8)
+    taps = design_lowpass_fir(cutoff, internal_rate, 65)
+    scattered = filter_signal(taps, raws.real) + 1j * filter_signal(taps, raws.imag)
+    rms = np.sqrt(np.mean(np.abs(scattered) ** 2, axis=-1, keepdims=True)) + 1e-12
+    scattered = scattered / rms * np.sqrt(scattered_power)
+
+    fading = np.abs(specular + scattered)
+    n_internal = raws.shape[-1]
+    x_internal = np.linspace(0.0, 1.0, n_internal)
+    x_out = np.linspace(0.0, 1.0, n_samples)
+    env = np.empty((raws.shape[0], n_samples))
+    for row in range(raws.shape[0]):
+        # np.interp is 1-D only; the per-row loop is cheap next to the
+        # stacked filtering above and keeps each row's interpolation the
+        # exact C routine the scalar path uses.
+        env[row] = np.interp(x_out, x_internal, fading[row])
+    return env / np.sqrt(np.mean(env**2, axis=-1, keepdims=True) + 1e-12)
+
+
 class BodyMotionFading:
     """Generate a Rician fading envelope for a mobility state.
 
@@ -57,16 +141,14 @@ class BodyMotionFading:
     """
 
     def __init__(self, profile, rng: RngLike = None) -> None:
-        if isinstance(profile, str):
-            if profile not in MOTION_PROFILES:
-                raise ConfigurationError(
-                    f"unknown motion profile {profile!r}; choose from {sorted(MOTION_PROFILES)}"
-                )
-            profile = MOTION_PROFILES[profile]
-        if not isinstance(profile, MotionProfile):
-            raise ConfigurationError("profile must be a name or MotionProfile")
-        self.profile = profile
+        self.profile = _resolve_profile(profile)
         self._rng = as_generator(rng)
+
+    def _draw_raw(self, n_internal: int) -> np.ndarray:
+        """The scalar path's two Gaussian draws, in its exact order."""
+        return self._rng.standard_normal(n_internal) + 1j * self._rng.standard_normal(
+            n_internal
+        )
 
     def envelope(self, n_samples: int, sample_rate: float) -> np.ndarray:
         """Amplitude envelope (mean-square normalized to 1).
@@ -75,26 +157,102 @@ class BodyMotionFading:
         profile's Doppler bandwidth; the specular component is a constant
         set by the K-factor.
         """
+        return self.envelope_batch(n_samples, sample_rate, 1)[0]
+
+    def envelope_batch(
+        self, n_samples: int, sample_rate: float, n_rows: int
+    ) -> np.ndarray:
+        """The next ``n_rows`` envelopes as one ``(n_rows, n_samples)`` stack.
+
+        Row ``i`` is bit-identical to the ``i``-th of ``n_rows``
+        successive :meth:`envelope` calls — the Gaussian innovations are
+        drawn row by row from this model's own stream in the scalar call
+        order, and only the (deterministic) Doppler shaping and
+        normalization run stacked. This is the hook the sweep engine's
+        batched backend uses to vectorize fading links instead of
+        falling back point by point.
+        """
         if n_samples < 1:
             raise ConfigurationError("n_samples must be >= 1")
         sample_rate = ensure_positive(sample_rate, "sample_rate")
-        k_linear = 10.0 ** (self.profile.k_factor_db / 10.0)
-        specular = np.sqrt(k_linear / (k_linear + 1.0))
-        scattered_power = 1.0 / (k_linear + 1.0)
+        if n_rows < 0:
+            raise ConfigurationError(f"n_rows must be >= 0, got {n_rows}")
+        internal_rate, n_internal = _internal_grid(self.profile, n_samples, sample_rate)
+        if n_rows == 0:
+            return np.empty((0, n_samples))
+        raws = np.empty((n_rows, n_internal), dtype=complex)
+        for row in range(n_rows):
+            raws[row] = self._draw_raw(n_internal)
+        return _shape_envelopes(self.profile, raws, internal_rate, n_samples)
 
-        # Generate the scattered process at a low internal rate and
-        # interpolate: Doppler is a few Hz, audio rates are tens of kHz.
-        internal_rate = max(20.0 * self.profile.doppler_hz, 50.0)
-        n_internal = max(int(np.ceil(n_samples * internal_rate / sample_rate)) + 8, 64)
-        raw = self._rng.standard_normal(n_internal) + 1j * self._rng.standard_normal(n_internal)
-        cutoff = min(self.profile.doppler_hz, internal_rate / 2 * 0.8)
-        taps = design_lowpass_fir(cutoff, internal_rate, 65)
-        scattered = filter_signal(taps, raw.real) + 1j * filter_signal(taps, raw.imag)
-        rms = np.sqrt(np.mean(np.abs(scattered) ** 2)) + 1e-12
-        scattered = scattered / rms * np.sqrt(scattered_power)
 
-        fading = np.abs(specular + scattered)
-        x_internal = np.linspace(0.0, 1.0, n_internal)
-        x_out = np.linspace(0.0, 1.0, n_samples)
-        env = np.interp(x_out, x_internal, fading)
-        return env / np.sqrt(np.mean(env**2) + 1e-12)
+@dataclass(frozen=True)
+class MotionFadingSpec:
+    """Declarative, picklable body-motion fading for sweep scenarios.
+
+    Where :class:`BodyMotionFading` carries a live RNG (so sharing one
+    instance across grid points makes results depend on execution
+    order), a spec is pure data: the link resolves it *per transmission*
+    with a child of its own generator
+    (:func:`repro.channel.link.resolve_fading`), so every grid point's
+    fading stream is pre-determined and identical on all sweep backends.
+
+    Attributes:
+        profile: a :data:`MOTION_PROFILES` key or a
+            :class:`MotionProfile`.
+    """
+
+    profile: Union[str, MotionProfile] = "walking"
+
+    def __post_init__(self) -> None:
+        _resolve_profile(self.profile)
+
+    def build(self, rng: RngLike = None) -> BodyMotionFading:
+        """Instantiate the live fading model on a resolved generator."""
+        return BodyMotionFading(self.profile, rng)
+
+
+def stack_envelopes(
+    models: Sequence[object], n_samples: int, sample_rate: float
+) -> np.ndarray:
+    """Envelopes for many fading models as one ``(rows, n_samples)`` stack.
+
+    The models' random draws happen strictly in list order — so a model
+    appearing at several positions (one shared stateful instance across
+    grid points) consumes its stream exactly as a serial loop over the
+    list would — and the deterministic shaping then runs vectorized per
+    parameter group. Models that are not :class:`BodyMotionFading`
+    (custom :class:`~repro.channel.link.FadingModel` implementations)
+    are evaluated through their own ``envelope`` at their list position,
+    preserving the same draw order.
+
+    Args:
+        models: one fading model per output row.
+        n_samples: envelope length, shared by every row.
+        sample_rate: sample rate, shared by every row.
+    """
+    if n_samples < 1:
+        raise ConfigurationError("n_samples must be >= 1")
+    sample_rate = ensure_positive(sample_rate, "sample_rate")
+    rows = len(models)
+    out = np.empty((rows, n_samples))
+    # Pass 1, strictly in list order: every model's stochastic draws.
+    # groups: profile -> (internal_rate, raw rows, positions); MotionProfile
+    # is a frozen dataclass, so equal parameter sets share one stack.
+    groups: Dict[MotionProfile, Tuple[float, List[np.ndarray], List[int]]] = {}
+    for pos, model in enumerate(models):
+        if isinstance(model, BodyMotionFading):
+            internal_rate, n_internal = _internal_grid(
+                model.profile, n_samples, sample_rate
+            )
+            entry = groups.setdefault(model.profile, (internal_rate, [], []))
+            entry[1].append(model._draw_raw(n_internal))
+            entry[2].append(pos)
+        else:
+            out[pos] = model.envelope(n_samples, sample_rate)
+    # Pass 2: deterministic shaping, stacked per shared profile.
+    for profile, (internal_rate, raws, positions) in groups.items():
+        shaped = _shape_envelopes(profile, np.stack(raws), internal_rate, n_samples)
+        for k, pos in enumerate(positions):
+            out[pos] = shaped[k]
+    return out

@@ -30,7 +30,7 @@ from repro.channel.antenna import Antenna, DIPOLE_POSTER, HEADPHONE_WIRE
 from repro.channel.noise import complex_awgn
 from repro.channel.pathloss import free_space_path_loss_db
 from repro.errors import LinkBudgetError
-from repro.utils.rand import RngLike, as_generator
+from repro.utils.rand import RngLike, as_generator, child_generator
 from repro.utils.units import feet_to_meters
 from repro.utils.validation import ensure_1d
 
@@ -45,6 +45,52 @@ class FadingModel(Protocol):
     def envelope(self, n_samples: int, sample_rate: float) -> np.ndarray:
         """Amplitude envelope of ``n_samples`` at ``sample_rate``."""
         ...
+
+    def envelope_batch(
+        self, n_samples: int, sample_rate: float, n_rows: int
+    ) -> np.ndarray:
+        """The next ``n_rows`` envelopes stacked as ``(n_rows, n_samples)``.
+
+        Row ``i`` must be bit-identical to the ``i``-th of ``n_rows``
+        successive :meth:`envelope` calls — the contract the batched
+        sweep backend's vectorized fading path rests on. (Call sites
+        fall back to per-row ``envelope`` when an implementation
+        predates this method.)
+        """
+        ...
+
+
+class FadingSpec(Protocol):
+    """A declarative (picklable, RNG-free) description of a fading model.
+
+    Implemented by :class:`repro.channel.fading.MotionFadingSpec`. Specs
+    are resolved per transmission via :func:`resolve_fading`, so sweep
+    grid points carrying a spec have order-independent fading streams.
+    """
+
+    def build(self, rng: RngLike = None) -> FadingModel:
+        """Instantiate the live fading model on a resolved generator."""
+        ...
+
+
+def resolve_fading(
+    fading: Optional[object], rng: np.random.Generator
+) -> Optional[FadingModel]:
+    """Turn a fading declaration into a live model for one transmission.
+
+    A live :class:`FadingModel` (anything with ``envelope``) passes
+    through untouched. A :class:`FadingSpec` is built on the dedicated
+    ``"fade"`` child of ``rng`` — consuming one draw from ``rng``, which
+    every caller (serial link and batched backend alike) must mirror so
+    the subsequent noise draws stay aligned.
+    """
+    if fading is None or hasattr(fading, "envelope"):
+        return fading
+    if hasattr(fading, "build"):
+        return fading.build(child_generator(rng, "fade"))
+    raise LinkBudgetError(
+        f"fading must provide envelope() or build(), got {type(fading)!r}"
+    )
 
 SQUARE_WAVE_SIDEBAND_LOSS_DB = 3.92
 """Power loss of one first-order square-wave sideband: (2/pi)^2."""
@@ -169,45 +215,84 @@ def transmit_batch(
     iq: np.ndarray,
     budgets: Sequence[LinkBudget],
     rngs: Sequence[RngLike],
+    envelopes: Optional[Sequence[Optional[np.ndarray]]] = None,
 ) -> np.ndarray:
     """Pass one shared envelope through many link budgets at once.
 
-    The batched counterpart of :meth:`BackscatterLink.transmit` for the
-    no-fading case: every grid point reuses the same cached front-end
-    envelope, so only the per-point noise differs. SNRs and noise scales
-    are computed as single array ops; the Gaussian draws themselves come
-    from each point's own pre-derived generator (two ``standard_normal``
-    calls per point, exactly like :func:`repro.channel.noise.complex_awgn`)
-    so each output row is bit-identical to the serial link.
+    The batched counterpart of :meth:`BackscatterLink.transmit`: every
+    grid point reuses the same cached front-end envelope, so only the
+    per-point fading and noise differ. SNRs, fading multiplication,
+    per-row signal powers and the noise scale-and-add all run as single
+    array ops over the ``(rows, samples)`` stack. The Gaussian draws
+    themselves still come from each point's own pre-derived generator —
+    two ``standard_normal`` calls per point, in the exact order of
+    :func:`repro.channel.noise.complex_awgn`, filled into one
+    preallocated ``(rows, 2, samples)`` scratch (no per-row Python
+    arithmetic or temporaries) — so each output row is bit-identical to
+    the serial link.
 
     Args:
         iq: shared unit-amplitude complex envelope, 1-D.
         budgets: one link budget per output row.
         rngs: one seed/Generator per output row.
+        envelopes: optional per-row fading envelopes (``None`` entries —
+            or ``None`` for the whole argument — mean an unfaded row).
+            Pre-draw these with
+            :func:`repro.channel.fading.stack_envelopes` in serial grid
+            order so stateful fading models consume their streams
+            exactly as a serial sweep would.
 
     Returns:
-        Noise-corrupted envelopes, shape ``(len(budgets), iq.size)``.
+        Faded, noise-corrupted envelopes, shape ``(len(budgets), iq.size)``.
     """
     iq = ensure_1d(iq, "iq")
     if not np.iscomplexobj(iq):
         raise LinkBudgetError("iq must be a complex envelope")
-    if len(budgets) != len(rngs):
+    n_rows = len(budgets)
+    if n_rows != len(rngs):
+        raise LinkBudgetError(f"got {n_rows} budgets but {len(rngs)} generators")
+    if envelopes is not None and len(envelopes) != n_rows:
         raise LinkBudgetError(
-            f"got {len(budgets)} budgets but {len(rngs)} generators"
+            f"got {n_rows} budgets but {len(envelopes)} fading envelopes"
         )
     snr_db = batched_rf_snr_db(budgets)
-    power = float(np.mean(np.abs(iq) ** 2))
+    clean = iq.astype(complex)
+
+    out = np.empty((n_rows, iq.size), dtype=complex)
+    if envelopes is None or all(env is None for env in envelopes):
+        # One shared clean row: the power term is the scalar the serial
+        # link computes, reused for every row.
+        out[:] = clean
+        power: np.ndarray = np.float64(np.mean(np.abs(iq) ** 2))
+    else:
+        for row in range(n_rows):
+            env = envelopes[row]
+            if env is None:
+                out[row] = clean
+            else:
+                env = np.asarray(env)
+                if env.shape != (iq.size,):
+                    raise LinkBudgetError(
+                        f"fading envelope for row {row} has shape {env.shape}, "
+                        f"expected ({iq.size},)"
+                    )
+                np.multiply(clean, env, out=out[row])
+        power = np.mean(np.abs(out) ** 2, axis=-1)
+
     noise_power = power / (10.0 ** (snr_db / 10.0))
     scales = np.sqrt(noise_power / 2.0)
 
-    out = np.empty((len(budgets), iq.size), dtype=complex)
-    clean = iq.astype(complex)
-    for row, (scale, rng) in enumerate(zip(scales, rngs)):
+    # Per-row draws into one preallocated scratch — each generator's two
+    # standard_normal fills, exactly like complex_awgn — then a single
+    # vectorized scale-and-add over the whole stack.
+    draws = np.empty((n_rows, 2, iq.size))
+    for row, rng in enumerate(rngs):
         gen = as_generator(rng)
-        noise = scale * (
-            gen.standard_normal(iq.size) + 1j * gen.standard_normal(iq.size)
-        )
-        out[row] = clean + noise
+        gen.standard_normal(out=draws[row, 0])
+        gen.standard_normal(out=draws[row, 1])
+    noise = draws[:, 0] + 1j * draws[:, 1]
+    noise *= np.asarray(scales).reshape(n_rows, 1)
+    out += noise
     return out
 
 
@@ -216,12 +301,15 @@ class BackscatterLink:
 
     Args:
         budget: the static link budget.
-        fading: optional amplitude envelope source (e.g.
-            :class:`repro.channel.fading.BodyMotionFading`); when present
-            the instantaneous SNR varies accordingly.
+        fading: optional amplitude envelope source — a live
+            :class:`FadingModel` (e.g.
+            :class:`repro.channel.fading.BodyMotionFading`) or a
+            declarative :class:`FadingSpec` resolved per transmission
+            from the link generator. When present the instantaneous SNR
+            varies accordingly.
     """
 
-    def __init__(self, budget: LinkBudget, fading: Optional[FadingModel] = None) -> None:
+    def __init__(self, budget: LinkBudget, fading: Optional[object] = None) -> None:
         self.budget = budget
         self.fading = fading
 
@@ -236,7 +324,9 @@ class BackscatterLink:
         iq = ensure_1d(iq, "iq")
         if not np.iscomplexobj(iq):
             raise LinkBudgetError("iq must be a complex envelope")
-        if self.fading is not None:
-            envelope = self.fading.envelope(iq.size, sample_rate)
+        gen = as_generator(rng)
+        fading = resolve_fading(self.fading, gen)
+        if fading is not None:
+            envelope = fading.envelope(iq.size, sample_rate)
             iq = iq * envelope
-        return complex_awgn(iq, self.budget.rf_snr_db(), rng)
+        return complex_awgn(iq, self.budget.rf_snr_db(), gen)

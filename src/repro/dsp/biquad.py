@@ -16,7 +16,7 @@ from scipy import signal as sp_signal
 
 from repro.constants import DEEMPHASIS_US_SECONDS
 from repro.errors import ConfigurationError
-from repro.utils.validation import ensure_positive, ensure_real
+from repro.utils.validation import ensure_positive, ensure_real_signal
 
 
 @dataclass(frozen=True)
@@ -38,9 +38,16 @@ class Biquad:
             raise ConfigurationError("a[0] must be normalized to 1")
 
     def apply(self, signal: np.ndarray) -> np.ndarray:
-        """Filter a real 1-D signal through this section."""
-        signal = ensure_real(signal, "signal")
-        return sp_signal.lfilter(self.b, self.a, signal)
+        """Filter a real signal through this section.
+
+        Accepts a 1-D waveform or a 2-D ``(batch, samples)`` stack — the
+        IIR recursion runs along the last axis independently per row, so
+        each row's output is bit-identical to filtering it alone. This is
+        what lets the sweep engine's batched backend keep de-emphasizing
+        receivers on the vectorized path instead of falling back.
+        """
+        signal = ensure_real_signal(signal, "signal")
+        return sp_signal.lfilter(self.b, self.a, signal, axis=-1)
 
     def frequency_response(self, freqs_hz: np.ndarray, sample_rate: float) -> np.ndarray:
         """Complex response at the given frequencies."""

@@ -4,6 +4,12 @@ The FM stack needs sharp audio-band filters: a 15 kHz low-pass before FM
 modulation, band-passes to isolate the pilot / stereo / RDS subcarriers,
 and narrow filters around FSK tones. Windowed-sinc FIRs with Hann windows
 are simple, linear-phase, and entirely adequate at these sample rates.
+
+Designs are memoized through the process-wide DSP plan cache
+(:mod:`repro.dsp.plan_cache`): a sweep that runs the same receive chain
+at every grid point designs each filter once instead of once per point.
+Cached taps are returned non-writable; derive a fresh array before
+mutating.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import signal as sp_signal
 
+from repro.dsp.plan_cache import cached_plan
 from repro.dsp.windows import hann_window
 from repro.errors import ConfigurationError
 from repro.utils.validation import ensure_positive, ensure_signal
@@ -25,7 +32,8 @@ def design_lowpass_fir(cutoff_hz: float, sample_rate: float, num_taps: int = 257
         num_taps: filter length; must be odd so group delay is an integer.
 
     Returns:
-        Filter taps normalized to unity DC gain.
+        Filter taps normalized to unity DC gain (non-writable; designs
+        are shared through the DSP plan cache).
     """
     cutoff_hz = ensure_positive(cutoff_hz, "cutoff_hz")
     sample_rate = ensure_positive(sample_rate, "sample_rate")
@@ -35,6 +43,14 @@ def design_lowpass_fir(cutoff_hz: float, sample_rate: float, num_taps: int = 257
         )
     if num_taps < 3 or num_taps % 2 == 0:
         raise ConfigurationError(f"num_taps must be odd and >= 3, got {num_taps}")
+    return cached_plan(
+        ("lowpass_fir", cutoff_hz, sample_rate, num_taps),
+        lambda: _design_lowpass(cutoff_hz, sample_rate, num_taps),
+    )
+
+
+def _design_lowpass(cutoff_hz: float, sample_rate: float, num_taps: int) -> np.ndarray:
+    """The actual (validated-input) windowed-sinc synthesis."""
     n = np.arange(num_taps) - (num_taps - 1) / 2
     fc = cutoff_hz / sample_rate
     taps = 2.0 * fc * np.sinc(2.0 * fc * n)
@@ -63,9 +79,11 @@ def bandpass_fir(
     """
     if high_hz <= low_hz:
         raise ConfigurationError(f"high_hz ({high_hz}) must exceed low_hz ({low_hz})")
-    upper = design_lowpass_fir(high_hz, sample_rate, num_taps)
-    lower = design_lowpass_fir(low_hz, sample_rate, num_taps)
-    return upper - lower
+    return cached_plan(
+        ("bandpass_fir", low_hz, high_hz, sample_rate, num_taps),
+        lambda: design_lowpass_fir(high_hz, sample_rate, num_taps)
+        - design_lowpass_fir(low_hz, sample_rate, num_taps),
+    )
 
 
 def filter_signal(taps: np.ndarray, signal: np.ndarray) -> np.ndarray:

@@ -1,0 +1,103 @@
+"""A small LRU cache for deterministic DSP "plans".
+
+A sweep grid re-runs the same receive chain at every point, and each run
+used to re-design the same FIR filters (windowed-sinc synthesis is a few
+hundred numpy ops) and rebuild the same Welch window. Those objects are
+pure functions of their design parameters, so this module gives the DSP
+layer one process-wide plan cache: :mod:`repro.dsp.filters` keys FIR
+designs by (kind, band edges, sample rate, taps) and
+:mod:`repro.dsp.spectrum` keys Welch windows by segment length.
+
+Cached arrays are returned **non-writable** (and every hit returns the
+same object), so an accidental in-place mutation by a caller raises
+instead of silently poisoning every later user of that plan.
+
+The capacity knob is ``REPRO_DSP_PLAN_CACHE`` (entries; ``0`` disables
+caching entirely); malformed values raise
+:class:`~repro.errors.ConfigurationError` naming the offending string.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.utils.env import env_int
+
+PLAN_CACHE_ENV_VAR = "REPRO_DSP_PLAN_CACHE"
+"""Maximum number of cached DSP plans (FIR designs, Welch windows);
+``0`` disables the cache."""
+
+DEFAULT_PLAN_CACHE_ENTRIES = 128
+"""Default capacity — generous for the library's filter vocabulary (a
+few dozen distinct designs) while bounding memory for exotic sweeps."""
+
+_cache: "OrderedDict[Tuple[object, ...], np.ndarray]" = OrderedDict()
+_stats: Dict[str, int] = {"hits": 0, "misses": 0}
+_lock = threading.Lock()
+"""The cache is process-wide and the thread sweep backend runs points
+concurrently; the lock keeps lookup + LRU reorder + eviction atomic
+(an unguarded get/move_to_end pair can KeyError under concurrent
+eviction). Builders run outside the lock — a racing miss just builds
+the same deterministic plan twice."""
+
+
+def plan_cache_capacity() -> int:
+    """The configured capacity (strictly parsed from the environment)."""
+    return env_int(PLAN_CACHE_ENV_VAR, DEFAULT_PLAN_CACHE_ENTRIES, minimum=0)
+
+
+def cached_plan(key: Tuple[object, ...], build: Callable[[], np.ndarray]) -> np.ndarray:
+    """Return the plan for ``key``, building (and caching) it on a miss.
+
+    Args:
+        key: hashable design key; include a kind tag so different plan
+            families never collide.
+        build: zero-argument builder invoked on a miss.
+
+    Returns:
+        The plan array, marked non-writable. With caching disabled the
+        builder's fresh output is returned (still non-writable, so code
+        behaves identically either way).
+    """
+    capacity = plan_cache_capacity()
+    if capacity > 0:
+        with _lock:
+            hit = _cache.get(key)
+            if hit is not None:
+                _cache.move_to_end(key)
+                _stats["hits"] += 1
+                return hit
+    with _lock:
+        _stats["misses"] += 1
+    plan = np.asarray(build())
+    plan.setflags(write=False)
+    if capacity > 0:
+        with _lock:
+            _cache[key] = plan
+            _cache.move_to_end(key)
+            while len(_cache) > capacity:
+                _cache.popitem(last=False)
+    return plan
+
+
+def plan_cache_stats() -> Dict[str, int]:
+    """Cache counters: ``hits`` / ``misses`` / ``items`` / ``capacity``."""
+    with _lock:
+        return {
+            "hits": _stats["hits"],
+            "misses": _stats["misses"],
+            "items": len(_cache),
+            "capacity": plan_cache_capacity(),
+        }
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and reset the counters (test isolation)."""
+    with _lock:
+        _cache.clear()
+        _stats["hits"] = 0
+        _stats["misses"] = 0

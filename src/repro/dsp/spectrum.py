@@ -12,8 +12,23 @@ from typing import Tuple
 import numpy as np
 from scipy import signal as sp_signal
 
+from repro.dsp.plan_cache import cached_plan
 from repro.errors import ConfigurationError
 from repro.utils.validation import ensure_positive, ensure_real_signal
+
+
+def _welch_window(nperseg: int) -> np.ndarray:
+    """The Hann segment window Welch would build internally, cached.
+
+    ``scipy.signal.welch`` resolves a window *name* to an array on every
+    call; passing the pre-built array through the DSP plan cache skips
+    that per-call synthesis while producing bit-identical spectra (the
+    array is exactly ``get_window("hann", nperseg)``).
+    """
+    return cached_plan(
+        ("welch_window", "hann", int(nperseg)),
+        lambda: sp_signal.get_window("hann", int(nperseg)),
+    )
 
 
 def power_spectrum(
@@ -36,7 +51,13 @@ def power_spectrum(
     signal = ensure_real_signal(signal, "signal")
     sample_rate = ensure_positive(sample_rate, "sample_rate")
     nperseg = int(min(nperseg, signal.shape[-1]))
-    freqs, psd = sp_signal.welch(signal, fs=sample_rate, nperseg=nperseg, axis=-1)
+    freqs, psd = sp_signal.welch(
+        signal,
+        fs=sample_rate,
+        window=_welch_window(nperseg),
+        nperseg=nperseg,
+        axis=-1,
+    )
     return freqs, psd
 
 

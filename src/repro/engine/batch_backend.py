@@ -2,57 +2,80 @@
 
 The paper's link-budget grids share one front end: a P×D sweep reuses the
 same cached composite envelope at every point, and only the link (SNR,
-noise) and the receiver's stochastic effects differ per point. This
-backend exploits that structurally: points are grouped by front-end key
-(program/mode/amplitude + payload + ambient variant), each group's
+fading, noise) and the receiver's stochastic effects differ per point.
+This backend exploits that structurally: points are grouped by front-end
+key (program/mode/amplitude + payload + ambient variant), each group's
 envelope is stacked into a ``(points, samples)`` array, and the link
-noise scaling, FM discriminator, audio decode and low-pass run as single
-NumPy ops over the stack (:func:`repro.channel.link.transmit_batch` +
+fading + noise scaling, FM discriminator, audio decode and low-pass run
+as NumPy ops over the stack (:func:`repro.channel.link.transmit_batch` +
 :func:`repro.receiver.fm_receiver.receive_mono_batch` /
-:func:`~repro.receiver.fm_receiver.receive_stereo_batch`). Stereo-capable
-receivers vectorize too: the 19 kHz pilot PLL advances an
-``(n_waveforms,)`` state vector per time step
-(:meth:`repro.dsp.pll.PhaseLockedLoop.track_batch`), so the Fig. 10/13
-stereo grids batch instead of falling back point by point.
+:func:`~repro.receiver.fm_receiver.receive_stereo_batch` internals).
+
+Coverage is total over the runner-transmitted scenario space — no chain
+feature forces a per-point fallback:
+
+- **Fading links** batch: per-point envelopes are pre-drawn *in serial
+  grid order* through :func:`repro.channel.fading.stack_envelopes`
+  (stateful models consume their streams exactly as the serial loop
+  would; declarative :class:`~repro.channel.fading.MotionFadingSpec`
+  links resolve from each point's own pre-derived stream) and applied
+  row-wise inside ``transmit_batch``.
+- **Stereo-capable receivers** (phone stereo *and* the car radio) batch
+  through the multi-waveform pilot PLL
+  (:meth:`repro.dsp.pll.PhaseLockedLoop.track_batch`). The PLL runs on
+  the decimated pilot band of the *whole* partition, so its stack width
+  is independent of the FFT chunking below.
+- **Receiver output effects** (smartphone AGC + codec noise, the car
+  cabin microphone path) and **de-emphasis** batch through
+  :meth:`repro.receiver.fm_receiver.FMReceiver.apply_output_effects_batch`
+  and the 2-D de-emphasis IIR — applied once per partition, random
+  draws still per row from each point's own generator.
 
 Bit-identity with the serial backend holds because (a) every stochastic
 draw still comes from the point's own pre-derived generators, in the
-same order the chain consumes them (station, link, receiver), and (b)
-the vectorized DSP is the *same code path* the 1-D calls take — the
-engine's DSP layer processes 2-D inputs along the last axis with
-row-independent operations.
+same order the chain consumes them (station, link incl. fading, then
+receiver), and (b) the vectorized DSP is the *same code path* the 1-D
+calls take — the engine's DSP layer processes 2-D inputs along the last
+axis with row-independent operations.
 
-Points the vectorized path cannot express — fading links, receivers
-with de-emphasis, scenarios without a declared payload or with caching
-disabled — fall back to the serial
-:func:`~repro.engine.execution.execute_point`, so ``REPRO_SWEEP_BACKEND=
-batched`` is always safe to set globally. The number of such fallbacks
-is surfaced as :attr:`repro.engine.results.SweepResult.n_fallbacks`.
+Scenarios whose ``measure`` performs its own transmissions (Fig. 12's
+two-phone cancellation, the deployment layer's MAC-gated per-device
+frames, the survey figures) declare no ``payload``, so there is no
+runner-performed transmission to vectorize; their points execute through
+the serial :func:`~repro.engine.execution.execute_point` by
+construction. Those are *measure-driven* points, not fallbacks:
+:attr:`repro.engine.results.SweepResult.n_fallbacks` counts only points
+the backend was asked to vectorize (a declared chain + payload) but had
+to run serially — which, with the paths above, is zero across the
+entire scenario space.
 """
 
 from __future__ import annotations
 
-import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.channel.link import transmit_batch
+from repro.channel.fading import stack_envelopes
+from repro.channel.link import resolve_fading, transmit_batch
+from repro.constants import MPX_RATE_HZ
 from repro.engine.cache import AmbientCache
 from repro.engine.execution import execute_point, make_ambient
 from repro.engine.scenario import GridPoint, PointRun, Scenario
-from repro.errors import ConfigurationError
+from repro.fm.demodulator import fm_demodulate
 from repro.receiver.fm_receiver import (
-    receive_mono_batch,
-    receive_stereo_batch,
+    decode_mono_rows,
+    decode_stereo_rows,
     supports_mono_batch,
     supports_stereo_batch,
 )
+from repro.utils.env import env_float
 from repro.utils.rand import child_generator
 
 BATCH_MEMORY_ENV_VAR = "REPRO_BATCH_MAX_MB"
-"""Cap (in MB) on one stacked envelope chunk; grids larger than the cap
-vectorize in slices, which changes nothing numerically."""
+"""Cap (in MB) on one stacked FFT working set; grids larger than the cap
+vectorize in row slices, which changes nothing numerically. Malformed
+or non-positive values raise :class:`~repro.errors.ConfigurationError`."""
 
 _DEFAULT_BATCH_MB = 64.0
 """Default chunk budget. Deliberately cache-sized rather than RAM-sized:
@@ -60,22 +83,30 @@ the vectorized ops are elementwise and memory-bound, so a working set
 near the LLC beats one giant pass through DRAM (measured ~2.5x on the
 Fig. 8 grid)."""
 
+_TRANSMIT_BYTES_PER_SAMPLE = 48
+"""Per-point bytes one transmit + demodulate chunk holds: the complex rx
+row (16 B/sample), its two noise-draw scratch rows (16) and the
+demodulated MPX row (8), plus slack for audio tails."""
 
-def _chunk_limit(n_samples: int, stereo: bool = False) -> int:
-    """How many grid points fit one vectorized chunk under the memory cap."""
-    raw = os.environ.get(BATCH_MEMORY_ENV_VAR, "").strip()
-    try:
-        budget_mb = float(raw) if raw else _DEFAULT_BATCH_MB
-    except ValueError:
-        raise ConfigurationError(
-            f"{BATCH_MEMORY_ENV_VAR} must be a number, got {raw!r}"
-        ) from None
-    # Per point the pass holds roughly: complex rx row (16 B/sample), its
-    # noise scratch (16), the demodulated MPX row (8) and audio tails.
-    # The stereo decode additionally carries the pilot band, stereo band,
-    # regenerated subcarrier and L-R difference at the MPX rate.
-    bytes_per_point = n_samples * (96 if stereo else 48)
-    return max(1, int(budget_mb * 1e6 / max(bytes_per_point, 1)))
+
+def batch_memory_budget_mb() -> float:
+    """The configured chunk budget in MB, strictly parsed."""
+    return env_float(
+        BATCH_MEMORY_ENV_VAR, _DEFAULT_BATCH_MB, minimum=0.0, minimum_exclusive=True
+    )
+
+
+def _chunk_limit(n_samples: int) -> int:
+    """How many grid points fit one vectorized chunk under the memory cap.
+
+    The cap bounds the *working set* of each FFT/transmit pass — the
+    decode stages receive it as their ``max_fft_rows`` — not the small
+    per-row state that persists across passes (decimated pilot bands,
+    audio-rate rows), which is what lets the stereo PLL span a whole
+    partition regardless of this limit.
+    """
+    bytes_per_point = n_samples * _TRANSMIT_BYTES_PER_SAMPLE
+    return max(1, int(batch_memory_budget_mb() * 1e6 / max(bytes_per_point, 1)))
 
 
 def run_batched_backend(
@@ -85,13 +116,15 @@ def run_batched_backend(
     seeds: Sequence[int],
     cache: Optional[AmbientCache],
     ambient_master: int,
-) -> Tuple[List[object], int]:
+) -> Tuple[List[object], int, int]:
     """Execute the grid with per-front-end vectorization.
 
     Returns:
-        ``(values, n_batched)`` — values in grid order plus how many
-        points actually took the vectorized path (the rest fell back to
-        serial execution).
+        ``(values, n_batched, n_fallbacks)`` — values in grid order, how
+        many points took the vectorized path, and how many batch-eligible
+        points (scenario declares a chain + payload) had to run serially
+        instead. Points of measure-driven scenarios (no declared payload)
+        execute serially by construction and are not fallbacks.
     """
     from repro.experiments.common import ExperimentChain
 
@@ -103,35 +136,79 @@ def run_batched_backend(
     chains: Dict[int, ExperimentChain] = {}
     payloads: Dict[int, np.ndarray] = {}
 
+    eligible = scenario.payload is not None and scenario.uses_chain
     batchable_scenario = (
-        cache is not None
-        and scenario.cache_ambient
-        and scenario.payload is not None
-        and scenario.uses_chain
+        eligible and cache is not None and scenario.cache_ambient
     )
     for i, point in enumerate(points):
         if not batchable_scenario:
             fallback.append(i)
             continue
-        chain = ExperimentChain(**scenario.chain_kwargs(point))
-        payload = scenario.payload_for(point, data)
-        if chain.fading is not None:
-            fallback.append(i)
-            continue
-        chains[i] = chain
-        payloads[i] = payload
+        chains[i] = ExperimentChain(**scenario.chain_kwargs(point))
+        payloads[i] = scenario.payload_for(point, data)
         key = (
-            chain.front_end_key(),
+            chains[i].front_end_key(),
             scenario.variant_for(point),
-            payload.shape[-1],
-            id(payload),
+            payloads[i].shape[-1],
+            id(payloads[i]),
         )
         groups.setdefault(key, []).append(i)
 
-    for indices in groups.values():
+    # Group envelopes first (one cached synthesis per group), because the
+    # fading pre-pass below needs every point's sample count.
+    ambients: Dict[tuple, object] = {}
+    group_iq: Dict[tuple, np.ndarray] = {}
+    for key, indices in groups.items():
+        first = indices[0]
+        ambients[key] = make_ambient(scenario, points[first], cache, ambient_master)
+        group_iq[key] = ambients[key].modulated_composite(
+            chains[first].front_end(), payloads[first]
+        )
+    iq_size: Dict[int, int] = {
+        i: group_iq[key].size for key, indices in groups.items() for i in indices
+    }
+
+    # Per-point stream derivation, in grid order, exactly as the chain
+    # consumes its children: station child (spent on the cached path),
+    # link child (whose own "fade" child resolves a declarative fading
+    # spec), then the receiver's child from the main generator.
+    batchable = sorted(chains)
+    gens: Dict[int, np.random.Generator] = {}
+    link_rngs: Dict[int, np.random.Generator] = {}
+    fadings: Dict[int, object] = {}
+    receivers: Dict[int, object] = {}
+    budgets: Dict[int, object] = {}
+    for i in batchable:
+        gen = np.random.default_rng(seeds[i])
+        child_generator(gen, "station")  # parity with the serial front end
+        link_rngs[i] = child_generator(gen, "link")
+        fading = resolve_fading(chains[i].fading, link_rngs[i])
+        if fading is not None:
+            fadings[i] = fading
+        receivers[i] = chains[i].receive_stage().build_receiver(gen)
+        budgets[i] = chains[i].link_budget()
+        gens[i] = gen
+
+    # Fading pre-pass, strictly in grid order: a stateful model shared
+    # across points consumes its stream exactly as the serial loop
+    # would. Runs of consecutive fading points with one sample count
+    # stack into a single vectorized envelope synthesis.
+    envelopes: Dict[int, np.ndarray] = {}
+    run_indices: List[int] = []
+    for i in batchable:
+        if i not in fadings:
+            continue
+        if run_indices and iq_size[run_indices[-1]] != iq_size[i]:
+            _flush_envelope_run(run_indices, fadings, iq_size, envelopes)
+            run_indices = []
+        run_indices.append(i)
+    _flush_envelope_run(run_indices, fadings, iq_size, envelopes)
+
+    for key, indices in groups.items():
         _run_group(
-            scenario, data, points, seeds, cache, ambient_master,
-            indices, chains, payloads, values, fallback,
+            scenario, data, points, group_iq[key], ambients[key],
+            indices, chains, gens, link_rngs, receivers, budgets,
+            envelopes, values,
         )
 
     for i in fallback:
@@ -139,81 +216,97 @@ def run_batched_backend(
             scenario, points[i], seeds[i], data, cache, ambient_master
         )
     n_batched = len(points) - len(fallback)
-    return values, n_batched
+    n_fallbacks = len(fallback) if eligible else 0
+    return values, n_batched, n_fallbacks
+
+
+def _flush_envelope_run(
+    run_indices: List[int],
+    fadings: Dict[int, object],
+    iq_size: Dict[int, int],
+    envelopes: Dict[int, np.ndarray],
+) -> None:
+    """Draw one grid-order run of fading envelopes as a stacked synthesis."""
+    if not run_indices:
+        return
+    stack = stack_envelopes(
+        [fadings[i] for i in run_indices], iq_size[run_indices[0]], MPX_RATE_HZ
+    )
+    for k, i in enumerate(run_indices):
+        envelopes[i] = stack[k]
 
 
 def _run_group(
     scenario: Scenario,
     data: Dict[str, object],
     points: Sequence[GridPoint],
-    seeds: Sequence[int],
-    cache: AmbientCache,
-    ambient_master: int,
+    iq: np.ndarray,
+    ambient: object,
     indices: List[int],
     chains: Dict[int, object],
-    payloads: Dict[int, np.ndarray],
+    gens: Dict[int, np.random.Generator],
+    link_rngs: Dict[int, np.random.Generator],
+    receivers: Dict[int, object],
+    budgets: Dict[int, object],
+    envelopes: Dict[int, np.ndarray],
     values: List[object],
-    fallback: List[int],
 ) -> None:
     """Vectorize one shared-front-end group of grid points."""
-    first = indices[0]
-    ambient = make_ambient(scenario, points[first], cache, ambient_master)
-    iq = ambient.modulated_composite(chains[first].front_end(), payloads[first])
-
-    # Derive each point's generators in exactly the order the chain
-    # consumes them: station child (spent on the cached path), link
-    # child, then the receiver's child from the main generator.
-    gens, link_rngs, receivers, budgets = [], [], [], []
-    for i in indices:
-        gen = np.random.default_rng(seeds[i])
-        child_generator(gen, "station")  # parity with the serial front end
-        link_rngs.append(child_generator(gen, "link"))
-        receivers.append(chains[i].receive_stage().build_receiver(gen))
-        budgets.append(chains[i].link_budget())
-        gens.append(gen)
-
     # One group can still mix receiver configurations (e.g. a
     # receiver-kind axis downstream of a shared front end); each
-    # homogeneous slice batches separately — mono receivers through
-    # receive_mono_batch, stereo-capable ones (phone stereo decode, the
-    # car radio) through receive_stereo_batch's multi-waveform pilot PLL.
-    # Only receivers neither path expresses (de-emphasis) fall back.
+    # homogeneous slice batches separately — mono receivers through the
+    # mono decode, stereo-capable ones (phone stereo decode, the car
+    # radio) through the multi-waveform-PLL stereo decode. Every
+    # receiver batches one way or the other.
     partitions: "Dict[tuple, List[int]]" = {}
-    for pos, rx in enumerate(receivers):
-        if supports_mono_batch(rx):
-            stereo = False
-        elif supports_stereo_batch(rx):
-            stereo = True
-        else:
-            fallback.append(indices[pos])
-            continue
+    for i in indices:
+        rx = receivers[i]
+        stereo = supports_stereo_batch(rx)
+        assert stereo or supports_mono_batch(rx)
         sig = (
             type(rx), stereo, rx.mpx_rate, rx.audio_rate, rx.deviation_hz,
-            rx.audio_cutoff_hz,
+            rx.audio_cutoff_hz, rx.apply_deemphasis,
         )
-        partitions.setdefault(sig, []).append(pos)
+        partitions.setdefault(sig, []).append(i)
 
-    for sig, positions in partitions.items():
-        stereo = sig[1]
-        receive_batch = receive_stereo_batch if stereo else receive_mono_batch
-        limit = _chunk_limit(iq.size, stereo=stereo)
-        for start in range(0, len(positions), limit):
-            chunk = positions[start : start + limit]
+    limit = _chunk_limit(iq.size)
+    for sig, members in partitions.items():
+        rx_type, stereo = sig[0], sig[1]
+        ref = receivers[members[0]]
+        part_receivers = [receivers[i] for i in members]
+
+        # Transmit + demodulate in memory-capped chunks. Only the real
+        # MPX rows persist (half the complex envelope's footprint); the
+        # decode below re-chunks its own FFT passes, so holding the
+        # partition's MPX stack is what frees the stereo PLL width from
+        # the chunk size.
+        mpx = np.empty((len(members), iq.size))
+        for start in range(0, len(members), limit):
+            chunk = members[start : start + limit]
             rx_iq = transmit_batch(
-                iq, [budgets[p] for p in chunk], [link_rngs[p] for p in chunk]
+                iq,
+                [budgets[i] for i in chunk],
+                [link_rngs[i] for i in chunk],
+                envelopes=[envelopes.get(i) for i in chunk],
             )
-            received_rows = receive_batch([receivers[p] for p in chunk], rx_iq)
-            for pos, received in zip(chunk, received_rows):
-                i = indices[pos]
-                # The group key pins the variant, so the group-level
-                # ambient is every member point's ambient.
-                chains[i].ambient_source = ambient
-                run = PointRun(
-                    point=points[i],
-                    rng=gens[pos],
-                    data=data,
-                    ambient=ambient,
-                    chain=chains[i],
-                    received=received,
-                )
-                values[i] = scenario.measure(run, **scenario.measure_params)
+            mpx[start : start + len(chunk)] = fm_demodulate(
+                rx_iq, ref.mpx_rate, ref.deviation_hz
+            )
+
+        decode = decode_stereo_rows if stereo else decode_mono_rows
+        raw_rows = decode(part_receivers, mpx, max_fft_rows=limit)
+        received_rows = rx_type.apply_output_effects_batch(part_receivers, raw_rows)
+
+        for i, received in zip(members, received_rows):
+            # The group key pins the variant, so the group-level
+            # ambient is every member point's ambient.
+            chains[i].ambient_source = ambient
+            run = PointRun(
+                point=points[i],
+                rng=gens[i],
+                data=data,
+                ambient=ambient,
+                chain=chains[i],
+                received=received,
+            )
+            values[i] = scenario.measure(run, **scenario.measure_params)

@@ -75,10 +75,19 @@ class SweepResult:
         backend: which execution backend ran the grid; the batched
             backend reports how many points it vectorized, e.g.
             ``"batched[40/40]"``.
-        n_fallbacks: how many points the batched backend executed through
-            the serial per-point fallback instead of a vectorized stack
-            (``0`` for a fully vectorized grid); ``None`` when a backend
-            without a fallback concept (serial/thread/process) ran.
+        n_fallbacks: how many *batch-eligible* points (the scenario
+            declares a chain + ``payload``, so the runner performs the
+            transmission) the batched backend executed through the
+            serial per-point fallback instead of a vectorized stack.
+            ``0`` means full vectorized coverage — since the
+            zero-fallback backend landed, every chain feature (fading,
+            stereo, de-emphasis, receiver output effects) batches, so a
+            nonzero count is a regression. Points of measure-driven
+            scenarios (no declared payload; the measure transmits
+            itself, e.g. Fig. 12's two-phone cancellation or the
+            deployment layer) execute per point by construction and are
+            not counted. ``None`` when a backend without a fallback
+            concept (serial/thread/process) ran.
         scenario_name: name of the scenario that produced the values;
             :meth:`merge` refuses to stitch shards of different
             scenarios (same-axes grids from unrelated experiments would

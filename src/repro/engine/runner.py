@@ -23,10 +23,13 @@
      the scenario's declarative (spec) form. The parent warms a shared
      disk store so workers skip ambient synthesis.
    - ``batched`` — groups points sharing one front end and runs the
-     link + receive math (mono and stereo decode alike, via the
-     multi-waveform pilot PLL) vectorized over a ``(points, samples)``
-     stack; unsupported points transparently fall back to serial and
-     are counted in ``SweepResult.n_fallbacks``.
+     link + receive math (fading, mono and stereo decode alike — via
+     per-row envelope stacks and the multi-waveform pilot PLL — plus
+     de-emphasis and receiver output effects) vectorized over a
+     ``(points, samples)`` stack. Every runner-transmitted point
+     batches; ``SweepResult.n_fallbacks`` counts batch-eligible points
+     that had to run serially (now structurally zero) while
+     measure-driven scenarios execute per point by construction.
 
 Select with the ``backend`` argument or the ``REPRO_SWEEP_BACKEND``
 environment variable; worker counts come from ``max_workers`` /
@@ -54,6 +57,7 @@ from repro.engine.execution import execute_point
 from repro.engine.results import SweepResult
 from repro.engine.scenario import Scenario
 from repro.errors import ConfigurationError
+from repro.utils.env import env_int
 from repro.utils.rand import RngLike, as_generator, derive_seed
 
 WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
@@ -67,16 +71,13 @@ BACKENDS = ("serial", "thread", "process", "batched")
 
 
 def default_max_workers() -> int:
-    """Worker count used when a runner is built without ``max_workers``."""
-    raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
-    if raw:
-        try:
-            return max(1, int(raw))
-        except ValueError:
-            raise ConfigurationError(
-                f"{WORKERS_ENV_VAR} must be an integer, got {raw!r}"
-            ) from None
-    return 1
+    """Worker count used when a runner is built without ``max_workers``.
+
+    Strictly parsed: a malformed or non-positive ``REPRO_SWEEP_WORKERS``
+    raises :class:`~repro.errors.ConfigurationError` naming the
+    offending string instead of being silently clamped.
+    """
+    return env_int(WORKERS_ENV_VAR, 1, minimum=1)
 
 
 def default_backend() -> Optional[str]:
@@ -236,11 +237,10 @@ class SweepRunner:
         else:  # batched
             from repro.engine.batch_backend import run_batched_backend
 
-            values, n_batched = run_batched_backend(
+            values, n_batched, n_fallbacks = run_batched_backend(
                 scenario, data, points, seeds, cache, ambient_master
             )
             backend_label = f"batched[{n_batched}/{len(points)}]"
-            n_fallbacks = len(points) - n_batched
         elapsed = time.perf_counter() - start
 
         cache_stats = None

@@ -159,10 +159,16 @@ class FrontEndStage:
 
 @dataclass(frozen=True)
 class LinkStage:
-    """Link budget + optional fading + AWGN at the budget's RF SNR."""
+    """Link budget + optional fading + AWGN at the budget's RF SNR.
+
+    ``fading`` may be a live :class:`FadingModel` or a declarative
+    :class:`~repro.channel.fading.MotionFadingSpec`; the link resolves a
+    spec per transmission from the stage generator, so spec-carrying
+    stages are picklable and order-independent across backends.
+    """
 
     budget: LinkBudget
-    fading: Optional[FadingModel] = None
+    fading: Optional[object] = None
 
     def apply(self, state: ChainState, rng: RngLike = None) -> ChainState:
         """Pass the composite envelope through the physical channel."""
@@ -213,7 +219,13 @@ class ExperimentChain:
         receiver_kind: ``smartphone`` or ``car``.
         back_amplitude: payload amplitude in the device baseband [0, 1];
             scales the backscattered audio's share of the deviation.
-        fading: optional fading generator for the link.
+        fading: optional fading for the link — a live
+            :class:`~repro.channel.link.FadingModel` (stateful RNG) or a
+            declarative :class:`~repro.channel.fading.MotionFadingSpec`,
+            which the link resolves per transmission from its own
+            generator. Prefer the spec in sweep scenarios: it is
+            picklable and order-independent, so fading grids batch on
+            the vectorized backend and stay bit-identical on all four.
         stereo_decode: receiver attempts stereo decoding (needed for
             stereo-backscatter modes; skipping it avoids the pilot PLL on
             mono-band experiments).
@@ -237,7 +249,7 @@ class ExperimentChain:
     distance_ft: float = 4.0
     receiver_kind: str = "smartphone"
     back_amplitude: float = 1.0
-    fading: Optional[FadingModel] = None
+    fading: Optional[object] = None
     stereo_decode: bool = True
     agc: bool = False
     device_antenna: Antenna = field(default_factory=lambda: DIPOLE_POSTER)

@@ -33,6 +33,50 @@ def received_payload_channel(run: PointRun):
     return run.chain.payload_channel(run.received)
 
 
+def build_scenario(
+    modem: FdmFskModem,
+    distances_ft: Sequence[float] = DEFAULT_DISTANCES_FT,
+    max_factor: int = max(DEFAULT_MRC_FACTORS),
+    power_dbm: float = -40.0,
+    program: str = "rock",
+    n_bits: int = 1600,
+    back_amplitude: float = DEFAULT_BACK_AMPLITUDE,
+) -> Scenario:
+    """The declarative Fig. 9 sweep: (distance x repetition) receptions.
+
+    Module-level so tests (and the CI zero-fallback gate) can execute the
+    exact grid ``run()`` uses under any backend and assert the batched
+    backend vectorizes every point.
+    """
+
+    def prepare(gen):
+        bits = random_bits(n_bits, child_generator(gen, "payload"))
+        return {"bits": bits, "waveform": modem.modulate(bits)}
+
+    # Each repetition must hear *different* program audio (that is what
+    # MRC averages out), so the ambient cache key carries the repetition
+    # index; each of the max_factor ambient variants is synthesized once
+    # and shared across all distances.
+    return Scenario(
+        name="fig09",
+        sweep=SweepSpec.grid(
+            distance_ft=tuple(distances_ft), rep=tuple(range(max_factor))
+        ),
+        prepare=prepare,
+        base_chain={
+            "program": program,
+            "power_dbm": power_dbm,
+            "stereo_decode": False,
+            "back_amplitude": back_amplitude,
+        },
+        chain_axes=("distance_ft",),
+        rng_keys=("rep", AxisRef("distance_ft"), AxisRef("rep")),
+        ambient_variant=AxisRef("rep"),
+        payload="waveform",
+        measure=received_payload_channel,
+    )
+
+
 def run(
     distances_ft: Sequence[float] = DEFAULT_DISTANCES_FT,
     mrc_factors: Sequence[int] = DEFAULT_MRC_FACTORS,
@@ -49,31 +93,14 @@ def run(
         ``"mrc2"``, ...). ``mrc1`` is the no-combining baseline.
     """
     modem = FdmFskModem(symbol_rate=200)
-    max_factor = max(mrc_factors)
-
-    def prepare(gen):
-        bits = random_bits(n_bits, child_generator(gen, "payload"))
-        return {"bits": bits, "waveform": modem.modulate(bits)}
-
-    # Each repetition must hear *different* program audio (that is what
-    # MRC averages out), so the ambient cache key carries the repetition
-    # index; each of the max_factor ambient variants is synthesized once
-    # and shared across all distances.
-    scenario = Scenario(
-        name="fig09",
-        sweep=SweepSpec.grid(distance_ft=tuple(distances_ft), rep=tuple(range(max_factor))),
-        prepare=prepare,
-        base_chain={
-            "program": program,
-            "power_dbm": power_dbm,
-            "stereo_decode": False,
-            "back_amplitude": back_amplitude,
-        },
-        chain_axes=("distance_ft",),
-        rng_keys=("rep", AxisRef("distance_ft"), AxisRef("rep")),
-        ambient_variant=AxisRef("rep"),
-        payload="waveform",
-        measure=received_payload_channel,
+    scenario = build_scenario(
+        modem,
+        distances_ft=distances_ft,
+        max_factor=max(mrc_factors),
+        power_dbm=power_dbm,
+        program=program,
+        n_bits=n_bits,
+        back_amplitude=back_amplitude,
     )
     result = run_scenario(scenario, rng=rng)
     bits = result.data["bits"]

@@ -12,8 +12,6 @@ from __future__ import annotations
 import sys
 from typing import Dict, List
 
-import numpy as np
-
 from repro.experiments import (
     deployment_scale,
     fig02_survey,
@@ -36,8 +34,128 @@ def _series(values: List[float]) -> str:
     return ", ".join(f"{v:.3g}" for v in values)
 
 
+def collect_aggregates(fast: bool = True, rng: int = REPORT_SEED) -> Dict[str, Dict]:
+    """Run the experiment suite and return the report's numeric aggregates.
+
+    One sub-dict per report section, holding exactly the numbers the
+    markdown prints. This structured form is what the golden-regression
+    tier pins (``tests/experiments/test_golden_outputs.py``), so drift in
+    any headline number fails loudly even if the markdown prose changes.
+    """
+    survey = fig02_survey.run(rng=rng)
+    occupancy = fig04_occupancy.run(rng=rng)
+    usage = fig05_stereo_usage.run(
+        n_snapshots=4 if fast else 20, snapshot_seconds=1.0, rng=rng
+    )
+    freqs = (1000, 8000, 12000, 14500) if fast else fig06_freq_response.DEFAULT_FREQS_HZ
+    response = fig06_freq_response.run(freqs_hz=freqs, duration_s=0.4, rng=rng)
+    snr = fig07_snr_distance.run(
+        powers_dbm=(-30.0, -50.0),
+        distances_ft=(4, 12, 20) if fast else fig07_snr_distance.DEFAULT_DISTANCES_FT,
+        duration_s=0.4,
+        rng=rng,
+    )
+    ber = fig08_ber_overlay.run(
+        rate="100bps",
+        powers_dbm=(-60.0,),
+        distances_ft=(6, 12, 20) if fast else fig08_ber_overlay.DEFAULT_DISTANCES_FT,
+        n_bits=120 if fast else 800,
+        rng=rng,
+    )
+    mrc = fig09_mrc.run(
+        distances_ft=(8,) if fast else fig09_mrc.DEFAULT_DISTANCES_FT,
+        mrc_factors=(1, 2, 4),
+        n_bits=800 if fast else 1600,
+        rng=rng,
+    )
+    pesq = fig11_pesq_overlay.run(
+        powers_dbm=(-20.0, -60.0),
+        distances_ft=(4, 20) if fast else fig11_pesq_overlay.DEFAULT_DISTANCES_FT,
+        duration_s=1.5,
+        rng=rng,
+    )
+    car = fig14_car.run(
+        powers_dbm=(-20.0,),
+        distances_ft=(20, 60) if fast else fig14_car.DEFAULT_DISTANCES_FT,
+        duration_s=1.0,
+        rng=rng,
+    )
+    fabric = fig17_fabric.run(
+        motions=("standing", "running"),
+        n_bits_low=150 if fast else 400,
+        n_bits_high=800 if fast else 1600,
+        n_trials=2 if fast else 5,
+        rng=rng,
+    )
+    deployment = deployment_scale.run(
+        device_counts=(1, 2, 4) if fast else deployment_scale.DEFAULT_DEVICE_COUNTS,
+        rng=rng,
+    )
+    budget = ic_power_budget()
+    return {
+        "survey": {
+            "median_dbm": survey["median_dbm"],
+            "min_dbm": survey["min_dbm"],
+            "max_dbm": survey["max_dbm"],
+            "diurnal_std_db": survey["diurnal_std_db"],
+        },
+        "occupancy": {
+            "median_shift_khz": occupancy["median_shift_khz"],
+            "max_shift_khz": occupancy["max_shift_khz"],
+        },
+        "stereo_usage": {
+            program: usage[program]["median_db"]
+            for program in ("news", "mixed", "pop", "rock")
+        },
+        "freq_response": {
+            "freq_hz": list(response["freq_hz"]),
+            "mono_snr_db": list(response["mono_snr_db"]),
+        },
+        "snr_distance": {
+            "distances_ft": list(snr["distances_ft"]),
+            "P-30": list(snr["P-30"]),
+            "P-50": list(snr["P-50"]),
+        },
+        "ber_100bps": {
+            "distances_ft": list(ber["distances_ft"]),
+            "P-60": list(ber["P-60"]),
+        },
+        "mrc": {
+            "mrc1": list(mrc["mrc1"]),
+            "mrc2": list(mrc["mrc2"]),
+            "mrc4": list(mrc["mrc4"]),
+        },
+        "pesq_overlay": {
+            "P-20": list(pesq["P-20"]),
+            "P-60": list(pesq["P-60"]),
+        },
+        "car": {
+            "distances_ft": list(car["distances_ft"]),
+            "snr_db": list(car["snr_P-20"]),
+            "pesq": list(car["pesq_P-20"]),
+        },
+        "fabric": {
+            "motions": list(fabric["motions"]),
+            "ber_100bps": list(fabric["ber_100bps"]),
+            "ber_1.6kbps_mrc2": list(fabric["ber_1.6kbps_mrc2"]),
+        },
+        "deployment": {
+            "device_counts": list(deployment["device_counts"]),
+            "per_device_delivery": list(deployment["per_device_delivery"]),
+            "aggregate_goodput_bps": list(deployment["aggregate_goodput_bps"]),
+            "shared_devices": list(deployment["shared_devices"]),
+        },
+        "power": {
+            "ic_total_uw": budget.total_uw,
+            "coin_cell_years": battery_life_hours(budget.total_w) / (24 * 365),
+            "fm_chip_hours": battery_life_hours(fm_chip_power_w()),
+        },
+    }
+
+
 def generate_report(fast: bool = True) -> str:
     """Run the experiment suite and return a markdown report."""
+    agg = collect_aggregates(fast=fast)
     lines: List[str] = [
         "# FM Backscatter reproduction report",
         "",
@@ -46,7 +164,7 @@ def generate_report(fast: bool = True) -> str:
         "",
     ]
 
-    survey = fig02_survey.run(rng=REPORT_SEED)
+    survey = agg["survey"]
     lines += [
         "## Fig. 2 — signal survey",
         f"- median power {survey['median_dbm']:.1f} dBm "
@@ -55,7 +173,7 @@ def generate_report(fast: bool = True) -> str:
         "",
     ]
 
-    occupancy = fig04_occupancy.run(rng=REPORT_SEED)
+    occupancy = agg["occupancy"]
     lines += [
         "## Fig. 4 — channel occupancy",
         f"- pooled median min-shift {occupancy['median_shift_khz']:.0f} kHz, "
@@ -63,31 +181,25 @@ def generate_report(fast: bool = True) -> str:
         "",
     ]
 
-    usage = fig05_stereo_usage.run(
-        n_snapshots=4 if fast else 20, snapshot_seconds=1.0, rng=REPORT_SEED
-    )
+    usage = agg["stereo_usage"]
     lines += [
         "## Fig. 5 — stereo utilization (median dB)",
         "- "
         + ", ".join(
-            f"{program} {usage[program]['median_db']:.1f}"
+            f"{program} {usage[program]:.1f}"
             for program in ("news", "mixed", "pop", "rock")
         ),
         "",
     ]
 
-    freqs = (1000, 8000, 12000, 14500) if fast else fig06_freq_response.DEFAULT_FREQS_HZ
-    response = fig06_freq_response.run(freqs_hz=freqs, duration_s=0.4, rng=REPORT_SEED)
+    response = agg["freq_response"]
     lines += [
         "## Fig. 6 — frequency response (mono SNR dB)",
         f"- at {list(response['freq_hz'])}: {_series(response['mono_snr_db'])}",
         "",
     ]
 
-    distances = (4, 12, 20) if fast else fig07_snr_distance.DEFAULT_DISTANCES_FT
-    snr = fig07_snr_distance.run(
-        powers_dbm=(-30.0, -50.0), distances_ft=distances, duration_s=0.4, rng=REPORT_SEED
-    )
+    snr = agg["snr_distance"]
     lines += [
         "## Fig. 7 — SNR vs distance",
         f"- -30 dBm: {_series(snr['P-30'])} at {list(snr['distances_ft'])} ft",
@@ -95,25 +207,14 @@ def generate_report(fast: bool = True) -> str:
         "",
     ]
 
-    ber = fig08_ber_overlay.run(
-        rate="100bps",
-        powers_dbm=(-60.0,),
-        distances_ft=(6, 12, 20) if fast else fig08_ber_overlay.DEFAULT_DISTANCES_FT,
-        n_bits=120 if fast else 800,
-        rng=REPORT_SEED,
-    )
+    ber = agg["ber_100bps"]
     lines += [
         "## Fig. 8a — 100 bps BER at -60 dBm",
         f"- {_series(ber['P-60'])} at {list(ber['distances_ft'])} ft",
         "",
     ]
 
-    mrc = fig09_mrc.run(
-        distances_ft=(8,) if fast else fig09_mrc.DEFAULT_DISTANCES_FT,
-        mrc_factors=(1, 2, 4),
-        n_bits=800 if fast else 1600,
-        rng=REPORT_SEED,
-    )
+    mrc = agg["mrc"]
     lines += [
         "## Fig. 9 — MRC (1.6 kbps, -40 dBm, 8 ft)",
         f"- BER 1x {_series(mrc['mrc1'])}, 2x {_series(mrc['mrc2'])}, "
@@ -121,38 +222,22 @@ def generate_report(fast: bool = True) -> str:
         "",
     ]
 
-    pesq = fig11_pesq_overlay.run(
-        powers_dbm=(-20.0, -60.0),
-        distances_ft=(4, 20) if fast else fig11_pesq_overlay.DEFAULT_DISTANCES_FT,
-        duration_s=1.5,
-        rng=REPORT_SEED,
-    )
+    pesq = agg["pesq_overlay"]
     lines += [
         "## Fig. 11 — overlay PESQ",
         f"- -20 dBm: {_series(pesq['P-20'])}; -60 dBm: {_series(pesq['P-60'])}",
         "",
     ]
 
-    car = fig14_car.run(
-        powers_dbm=(-20.0,),
-        distances_ft=(20, 60) if fast else fig14_car.DEFAULT_DISTANCES_FT,
-        duration_s=1.0,
-        rng=REPORT_SEED,
-    )
+    car = agg["car"]
     lines += [
         "## Fig. 14 — car receiver",
-        f"- SNR {_series(car['snr_P-20'])} dB, PESQ {_series(car['pesq_P-20'])} "
+        f"- SNR {_series(car['snr_db'])} dB, PESQ {_series(car['pesq'])} "
         f"at {list(car['distances_ft'])} ft",
         "",
     ]
 
-    fabric = fig17_fabric.run(
-        motions=("standing", "running"),
-        n_bits_low=150 if fast else 400,
-        n_bits_high=800 if fast else 1600,
-        n_trials=2 if fast else 5,
-        rng=REPORT_SEED,
-    )
+    fabric = agg["fabric"]
     lines += [
         "## Fig. 17b — smart fabric",
         f"- 100 bps: {_series(fabric['ber_100bps'])}; 1.6 kbps + 2x MRC: "
@@ -160,10 +245,7 @@ def generate_report(fast: bool = True) -> str:
         "",
     ]
 
-    deployment = deployment_scale.run(
-        device_counts=(1, 2, 4) if fast else deployment_scale.DEFAULT_DEVICE_COUNTS,
-        rng=REPORT_SEED,
-    )
+    deployment = agg["deployment"]
     lines += [
         "## Deployment scale-out (sections 1, 8)",
         f"- devices {deployment['device_counts']}: per-device delivery "
@@ -173,13 +255,12 @@ def generate_report(fast: bool = True) -> str:
         "",
     ]
 
-    budget = ic_power_budget()
-    years = battery_life_hours(budget.total_w) / (24 * 365)
-    chip_hours = battery_life_hours(fm_chip_power_w())
+    power = agg["power"]
     lines += [
         "## Power (section 4)",
-        f"- IC total {budget.total_uw:.2f} uW; coin cell life "
-        f"{years:.1f} years vs {chip_hours:.1f} hours for an FM chip",
+        f"- IC total {power['ic_total_uw']:.2f} uW; coin cell life "
+        f"{power['coin_cell_years']:.1f} years vs {power['fm_chip_hours']:.1f} "
+        "hours for an FM chip",
         "",
     ]
     return "\n".join(lines)

@@ -55,7 +55,21 @@ def fm_demodulate(
     # as it would alone.
     floor = 1e-12 * np.max(magnitude, axis=-1, keepdims=True)
     safe = np.where(magnitude > floor, iq, floor)
-    increments = np.angle(safe[..., 1:] * np.conj(safe[..., :-1]))
+    if safe.ndim == 1:
+        increments = np.angle(safe[1:] * np.conj(safe[:-1]))
+    else:
+        # Per-row evaluation of the exact 1-D expression. A single 2-D
+        # pass over the lag-product views routes through numpy's
+        # buffered iterator, whose chunk boundaries differ from the 1-D
+        # case and perturb the complex multiply by an ULP for some
+        # waveform lengths — per-row contiguous views take the same
+        # code path as the serial demodulate for every length, keeping
+        # the batched backend's bit-identity contract unconditional.
+        # (Each row is still one vectorized C call; only the cross-row
+        # fusion is given up, which is noise at these sizes.)
+        increments = np.empty(safe.shape[:-1] + (safe.shape[-1] - 1,))
+        for row in range(safe.shape[0]):
+            increments[row] = np.angle(safe[row, 1:] * np.conj(safe[row, :-1]))
     inst_freq = increments * sample_rate / (2.0 * np.pi)
     if inst_freq.shape[-1] == 0:
         return np.zeros(iq.shape[:-1] + (1,))

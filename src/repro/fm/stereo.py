@@ -135,11 +135,26 @@ def decode_stereo(
     return StereoAudio(left=left, right=right, stereo_locked=True, audio_rate=audio_rate)
 
 
+def row_chunks(n_rows: int, max_rows: Optional[int]) -> List[slice]:
+    """Contiguous row slices of at most ``max_rows`` (one slice if None).
+
+    The shared chunking helper for every ``max_fft_rows``-capped batch
+    decode stage (here and in :mod:`repro.receiver.fm_receiver`).
+    """
+    if max_rows is None or max_rows >= n_rows:
+        return [slice(0, n_rows)]
+    step = max(int(max_rows), 1)
+    return [
+        slice(start, min(start + step, n_rows)) for start in range(0, n_rows, step)
+    ]
+
+
 def decode_stereo_batch(
     mpx: np.ndarray,
     mpx_rate: float = MPX_RATE_HZ,
     audio_rate: float = AUDIO_RATE_HZ,
     force_stereo: bool = False,
+    max_fft_rows: Optional[int] = None,
 ) -> List[StereoAudio]:
     """Decode a stack of MPX basebands into left/right audio in one pass.
 
@@ -160,6 +175,14 @@ def decode_stereo_batch(
         force_stereo: decode the stereo matrix on every row regardless of
             pilot detection and lock (same testing knob as the scalar
             decoder).
+        max_fft_rows: cap on how many rows each FFT-heavy stage (mono
+            low-pass, pilot/stereo band-passes, Welch pilot gate, the
+            L-R filtering) spans per pass, keeping its working set
+            cache-sized. The pilot PLL is *not* capped: its per-step
+            state vector always spans every pilot-bearing row, so its
+            vectorization width no longer depends on memory chunking.
+            Purely a performance knob — results are bit-identical at any
+            value (each stage is row-independent).
 
     Returns:
         One :class:`StereoAudio` per row, in order.
@@ -176,46 +199,69 @@ def decode_stereo_batch(
         return []
     mpx = mpx.astype(float, copy=False)
 
-    mono = decode_mono(mpx, mpx_rate, audio_rate)
+    # Mono (L+R) decode for every row; chunked — the 15 kHz low-pass and
+    # the polyphase resample are the FFT-heavy part of the mono path.
+    mono: Optional[np.ndarray] = None
+    for rows in row_chunks(n_rows, max_fft_rows):
+        chunk = decode_mono(mpx[rows], mpx_rate, audio_rate)
+        if mono is None:
+            mono = np.empty((n_rows, chunk.shape[-1]))
+        mono[rows] = chunk
     results: List[Optional[StereoAudio]] = [None] * n_rows
 
-    # Stage 1: vectorized pilot gate (the per-row detect_pilot decision).
+    # Stage 1: vectorized pilot gate (the per-row detect_pilot decision),
+    # Welch working set capped like the filters.
     if force_stereo:
         candidates = np.arange(n_rows)
     else:
-        ratios = pilot_power_ratio_db(mpx, mpx_rate)
+        ratios = np.empty(n_rows)
+        for rows in row_chunks(n_rows, max_fft_rows):
+            ratios[rows] = pilot_power_ratio_db(mpx[rows], mpx_rate)
         candidates = np.flatnonzero(ratios > PILOT_DETECT_THRESHOLD_DB)
 
     if candidates.size:
         # Stage 2: multi-waveform pilot recovery — same decimated loop,
-        # same coefficients as the scalar path, advanced for all
-        # candidate rows per step.
-        pilot_band = filter_signal(
-            bandpass_fir(18.5e3, 19.5e3, mpx_rate, 1025), mpx[candidates]
-        )
+        # same coefficients as the scalar path. The band-pass runs in
+        # memory-capped chunks; only the (5x smaller) decimated pilot
+        # band persists, so the PLL advances ALL candidate rows per time
+        # step regardless of the FFT chunk size.
         decimation = 5
+        pilot_taps = bandpass_fir(18.5e3, 19.5e3, mpx_rate, 1025)
+        n_decimated = len(range(0, mpx.shape[-1], decimation))
+        pilot_decimated = np.empty((candidates.size, n_decimated))
+        for rows in row_chunks(candidates.size, max_fft_rows):
+            pilot_decimated[rows] = filter_signal(pilot_taps, mpx[candidates[rows]])[
+                :, ::decimation
+            ]
         decimated_rate = mpx_rate / decimation
         pll = PhaseLockedLoop(PILOT_FREQ_HZ, decimated_rate, loop_bandwidth_hz=30.0)
-        track = pll.track_batch(pilot_band[:, ::decimation])
+        track = pll.track_batch(pilot_decimated)
 
         engaged = np.flatnonzero(track.locked | force_stereo)
         if engaged.size:
             rows = candidates[engaged]
             # Stage 3: subcarrier regeneration + L-R matrix for the
-            # locked rows, stacked.
+            # locked rows, stacked and chunked like the other filters.
             sample_positions = np.arange(mpx.shape[-1]) / decimation
             decimated_index = np.arange(track.phase.shape[-1])
-            phase_full = np.stack(
-                [
-                    np.interp(sample_positions, decimated_index, track.phase[pos])
-                    for pos in engaged
-                ]
-            )
-            carrier38 = np.cos(2.0 * phase_full)
-            stereo_band = filter_signal(bandpass_fir(23e3, 53e3, mpx_rate, 513), mpx[rows])
-            diff_mpx = 2.0 * stereo_band * carrier38
-            diff_mpx = filter_signal(design_lowpass_fir(15e3, mpx_rate, 513), diff_mpx)
-            diff = resample_by_ratio(diff_mpx, mpx_rate, audio_rate)
+            stereo_taps = bandpass_fir(23e3, 53e3, mpx_rate, 513)
+            diff_taps = design_lowpass_fir(15e3, mpx_rate, 513)
+            diff: Optional[np.ndarray] = None
+            for chunk in row_chunks(engaged.size, max_fft_rows):
+                phase_full = np.stack(
+                    [
+                        np.interp(sample_positions, decimated_index, track.phase[pos])
+                        for pos in engaged[chunk]
+                    ]
+                )
+                carrier38 = np.cos(2.0 * phase_full)
+                stereo_band = filter_signal(stereo_taps, mpx[rows[chunk]])
+                diff_mpx = 2.0 * stereo_band * carrier38
+                diff_mpx = filter_signal(diff_taps, diff_mpx)
+                diff_chunk = resample_by_ratio(diff_mpx, mpx_rate, audio_rate)
+                if diff is None:
+                    diff = np.empty((engaged.size, diff_chunk.shape[-1]))
+                diff[chunk] = diff_chunk
 
             n = min(mono.shape[-1], diff.shape[-1])
             for k, row in enumerate(rows):

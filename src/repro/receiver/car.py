@@ -9,6 +9,8 @@ acoustic path: speaker/cabin band-limiting and engine noise.
 
 from __future__ import annotations
 
+from typing import List, Sequence, Tuple
+
 import numpy as np
 
 from repro.constants import AUDIO_RATE_HZ, MPX_RATE_HZ
@@ -80,3 +82,89 @@ class CarReceiver(FMReceiver):
             mpx=received.mpx,
             audio_rate=received.audio_rate,
         )
+
+    @classmethod
+    def apply_output_effects_batch(
+        cls, receivers: Sequence["CarReceiver"], received: Sequence[ReceivedAudio]
+    ) -> List[ReceivedAudio]:
+        """The cabin microphone path for a whole batch, vectorized.
+
+        Speaker/cabin band-limiting and the engine-noise shaping filter
+        are the expensive part of :meth:`_acoustic_path`; here they run
+        as 2-D passes over every (row, channel) at once. The noise draws
+        stay per row — left's two draws, then right's, from each
+        receiver's own generator, exactly the serial order, and a
+        channel whose shaped signal has no power skips its draws just
+        like the serial early-return — so every row stays bit-identical
+        to :meth:`apply_output_effects`.
+        """
+        receivers = list(receivers)
+        received = list(received)
+        if not receivers:
+            return []
+        vectorizable = (
+            all(isinstance(rx, CarReceiver) for rx in receivers)
+            and len({rx.audio_rate for rx in receivers}) == 1
+            and len({row.left.shape for row in received}) == 1
+        )
+        if not vectorizable:
+            return [
+                rx.apply_output_effects(row) for rx, row in zip(receivers, received)
+            ]
+        ref = receivers[0]
+        n_rows = len(receivers)
+
+        # Channel-major stack: rows [0..n) are lefts, [n..2n) are rights.
+        audio = np.concatenate(
+            [
+                np.stack([row.left for row in received]),
+                np.stack([row.right for row in received]),
+            ]
+        )
+        shaped = filter_signal(
+            bandpass_fir(
+                60.0, min(12e3, ref.audio_rate / 2 * 0.9), ref.audio_rate, 257
+            ),
+            audio,
+        )
+        signal_power = np.mean(shaped**2, axis=-1)
+
+        # Draws in serial order — per row: left d1, d2 then right d1, d2
+        # from that row's generator; silent channels draw nothing.
+        active: List[Tuple[int, int]] = []  # (row, channel-major index)
+        n_samples = shaped.shape[-1]
+        draw_list: List[np.ndarray] = []
+        for i, rx in enumerate(receivers):
+            for stacked in (i, n_rows + i):  # left before right
+                if signal_power[stacked] <= 0:
+                    continue
+                pair = np.empty((2, n_samples))
+                rx._rng.standard_normal(out=pair[0])
+                rx._rng.standard_normal(out=pair[1])
+                active.append((i, stacked))
+                draw_list.append(pair)
+
+        if active:
+            draws = np.stack(draw_list)
+            noise = filter_signal(
+                design_lowpass_fir(400.0, ref.audio_rate, 129), draws[:, 0]
+            )
+            noise += 0.1 * draws[:, 1]
+            noise_power = np.mean(noise**2, axis=-1)
+            rows_idx = np.array([i for i, _ in active])
+            stacked_idx = np.array([s for _, s in active])
+            snr_db = np.array([receivers[i].cabin_noise_snr_db for i in rows_idx])
+            target = signal_power[stacked_idx] / (10.0 ** (snr_db / 10.0))
+            noise *= np.sqrt(target / np.maximum(noise_power, 1e-30))[:, np.newaxis]
+            shaped[stacked_idx] += noise
+
+        return [
+            ReceivedAudio(
+                left=shaped[i],
+                right=shaped[n_rows + i],
+                stereo_locked=row.stereo_locked,
+                mpx=row.mpx,
+                audio_rate=row.audio_rate,
+            )
+            for i, row in enumerate(received)
+        ]

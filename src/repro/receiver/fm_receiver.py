@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -12,7 +12,13 @@ from repro.dsp.biquad import deemphasis_filter
 from repro.dsp.filters import design_lowpass_fir, filter_signal
 from repro.errors import ConfigurationError
 from repro.fm.demodulator import fm_demodulate
-from repro.fm.stereo import StereoAudio, decode_mono, decode_stereo, decode_stereo_batch
+from repro.fm.stereo import (
+    StereoAudio,
+    decode_mono,
+    decode_stereo,
+    decode_stereo_batch,
+    row_chunks,
+)
 from repro.utils.validation import ensure_positive
 
 
@@ -97,6 +103,25 @@ class FMReceiver:
         """
         return received
 
+    @classmethod
+    def apply_output_effects_batch(
+        cls, receivers: Sequence["FMReceiver"], received: Sequence[ReceivedAudio]
+    ) -> List[ReceivedAudio]:
+        """Receiver-specific effects over a whole decoded batch at once.
+
+        The batch counterpart of :meth:`apply_output_effects`: row ``i``
+        of the result must be bit-identical to
+        ``receivers[i].apply_output_effects(received[i])``. This default
+        simply loops — correct for any receiver subclass, which is what
+        lets the batched sweep backend keep *every* receiver on the
+        vectorized path. Subclasses with per-row stochastic effects
+        (smartphone codec noise, the car cabin) override it to keep the
+        random draws per row (each receiver's own generator, left before
+        right) while running the deterministic shaping as stacked array
+        ops over the batch.
+        """
+        return [rx.apply_output_effects(row) for rx, row in zip(receivers, received)]
+
     def receive_mpx(self, iq: np.ndarray) -> np.ndarray:
         """Demodulate the complex envelope into the MPX baseband."""
         return fm_demodulate(iq, self.mpx_rate, self.deviation_hz)
@@ -129,26 +154,33 @@ class FMReceiver:
 
 
 def supports_mono_batch(receiver: FMReceiver) -> bool:
-    """Whether :func:`receive_mono_batch` can stand in for ``receive``."""
-    return not receiver.stereo_capable and not receiver.apply_deemphasis
+    """Whether :func:`receive_mono_batch` can stand in for ``receive``.
+
+    Every mono receiver qualifies — de-emphasis runs as a 2-D IIR pass
+    and receiver-specific output effects batch through
+    :meth:`FMReceiver.apply_output_effects_batch` — so the batched sweep
+    backend never falls back on a receiver's account.
+    """
+    return not receiver.stereo_capable
 
 
 def supports_stereo_batch(receiver: FMReceiver) -> bool:
     """Whether :func:`receive_stereo_batch` can stand in for ``receive``."""
-    return receiver.stereo_capable and not receiver.apply_deemphasis
+    return receiver.stereo_capable
 
 
 def _require_uniform_batch(
     receivers: Sequence[FMReceiver],
-    iq_batch: np.ndarray,
+    batch: np.ndarray,
     supports,
     requirement: str,
+    batch_name: str = "iq_batch",
 ) -> None:
     """Shared shape / configuration validation for the batch receive paths."""
-    if iq_batch.ndim != 2 or iq_batch.shape[0] != len(receivers):
+    if batch.ndim != 2 or batch.shape[0] != len(receivers):
         raise ConfigurationError(
-            f"iq_batch must have shape (n_receivers, samples); got {iq_batch.shape} "
-            f"for {len(receivers)} receivers"
+            f"{batch_name} must have shape (n_receivers, samples); got "
+            f"{batch.shape} for {len(receivers)} receivers"
         )
     if not receivers:
         return
@@ -161,32 +193,154 @@ def _require_uniform_batch(
             or rx.audio_rate != ref.audio_rate
             or rx.deviation_hz != ref.deviation_hz
             or rx.audio_cutoff_hz != ref.audio_cutoff_hz
+            or rx.apply_deemphasis != ref.apply_deemphasis
         ):
             raise ConfigurationError(
                 "all receivers in one batch must share mpx/audio rates, "
-                "deviation and audio cutoff"
+                "deviation, audio cutoff and de-emphasis"
             )
 
 
-def receive_mono_batch(
-    receivers: Sequence[FMReceiver], iq_batch: np.ndarray
+def decode_mono_rows(
+    receivers: Sequence[FMReceiver],
+    mpx_batch: np.ndarray,
+    max_fft_rows: Optional[int] = None,
 ) -> List[ReceivedAudio]:
-    """Receive many envelopes through the shared mono DSP in one pass.
+    """Shared mono decode of a demodulated MPX stack, *without* output effects.
 
-    The demodulator, mono decoder and audio low-pass are deterministic
-    and sample-wise independent across waveforms, so the batched sweep
-    backend stacks every grid point's noisy envelope into one
-    ``(points, samples)`` array and runs those stages as single NumPy
-    ops — bit-identical per row to ``receivers[i].receive(iq_batch[i])``
-    because the 2-D code path in the DSP layer is the same code path the
-    1-D calls take. Per-receiver stochastic effects (codec noise, cabin
-    noise) then run row by row through :meth:`FMReceiver.apply_output_effects`
-    with each receiver's own generator.
+    The mono decoder and audio low-pass (and, when configured, the
+    de-emphasis IIR) are deterministic and sample-wise independent
+    across waveforms, so they run as NumPy ops over the stack —
+    bit-identical per row to the serial decode because the 2-D code path
+    in the DSP layer is the same code path the 1-D calls take.
+    Receiver-specific (stochastic) output effects are *not* applied;
+    callers batch them separately through
+    :meth:`FMReceiver.apply_output_effects_batch`, which lets the sweep
+    backend decode in memory-capped chunks and still vectorize the
+    effects across the whole partition.
 
     Args:
         receivers: one configured mono receiver per row; all must share
-            the DSP-relevant configuration (rates, cutoff, deviation).
+            the DSP-relevant configuration.
+        mpx_batch: demodulated MPX rows, ``(len(receivers), samples)``.
+        max_fft_rows: cap on how many rows each FFT-heavy filtering pass
+            spans (``None`` = all rows at once). Purely a working-set
+            knob — results are bit-identical at any value.
+    """
+    receivers = list(receivers)
+    mpx_batch = np.asarray(mpx_batch)
+    _require_uniform_batch(
+        receivers,
+        mpx_batch,
+        supports_mono_batch,
+        "decode_mono_rows needs mono receivers "
+        "(stereo-capable receivers batch through the stereo decode)",
+        batch_name="mpx_batch",
+    )
+    if not receivers:
+        return []
+    ref = receivers[0]
+
+    results: List[ReceivedAudio] = []
+    for rows in row_chunks(len(receivers), max_fft_rows):
+        audio_batch = decode_mono(mpx_batch[rows], ref.mpx_rate, ref.audio_rate)
+        audio_batch = ref._post_process(audio_batch)
+        for rx, audio_row, mpx_row in zip(
+            receivers[rows], audio_batch, mpx_batch[rows]
+        ):
+            left = np.ascontiguousarray(audio_row)
+            results.append(
+                ReceivedAudio(
+                    left=left,
+                    right=left.copy(),
+                    stereo_locked=False,
+                    mpx=np.ascontiguousarray(mpx_row),
+                    audio_rate=rx.audio_rate,
+                )
+            )
+    return results
+
+
+def decode_stereo_rows(
+    receivers: Sequence[FMReceiver],
+    mpx_batch: np.ndarray,
+    max_fft_rows: Optional[int] = None,
+) -> List[ReceivedAudio]:
+    """Shared stereo decode of a demodulated MPX stack, *without* output effects.
+
+    The stereo counterpart of :func:`decode_mono_rows`: the pilot-gated
+    stereo decode (:func:`~repro.fm.stereo.decode_stereo_batch`) and the
+    audio post-filter run over the stack, with per-row pilot detection
+    and lock decisions preserved — a row whose pilot is missing falls
+    back to mono *inside* the batch, exactly as the serial receive
+    would. ``max_fft_rows`` caps only the FFT-heavy filtering passes;
+    the pilot PLL always advances the *full* stack of pilot-bearing
+    rows per time step, so its vectorization width is independent of the
+    memory-capped chunking (see
+    :meth:`repro.dsp.pll.PhaseLockedLoop.track_batch`).
+    """
+    receivers = list(receivers)
+    mpx_batch = np.asarray(mpx_batch)
+    _require_uniform_batch(
+        receivers,
+        mpx_batch,
+        supports_stereo_batch,
+        "decode_stereo_rows needs stereo-capable receivers "
+        "(mono receivers batch through the mono decode)",
+        batch_name="mpx_batch",
+    )
+    if not receivers:
+        return []
+    ref = receivers[0]
+
+    decoded = decode_stereo_batch(
+        mpx_batch, ref.mpx_rate, ref.audio_rate, max_fft_rows=max_fft_rows
+    )
+    # All rows share one MPX length, so the decoder's outputs stack; the
+    # serial receive post-processes left then right, and both are
+    # deterministic filters, so batching each channel separately keeps
+    # every row bit-identical. These run at the audio rate (a tenth of
+    # the MPX working set), so they span the full stack.
+    left_batch = ref._post_process(np.stack([audio.left for audio in decoded]))
+    right_batch = ref._post_process(np.stack([audio.right for audio in decoded]))
+
+    results: List[ReceivedAudio] = []
+    for rx, audio, left_row, right_row, mpx_row in zip(
+        receivers, decoded, left_batch, right_batch, mpx_batch
+    ):
+        results.append(
+            ReceivedAudio(
+                left=np.ascontiguousarray(left_row),
+                right=np.ascontiguousarray(right_row),
+                stereo_locked=audio.stereo_locked,
+                mpx=np.ascontiguousarray(mpx_row),
+                audio_rate=rx.audio_rate,
+            )
+        )
+    return results
+
+
+def receive_mono_batch(
+    receivers: Sequence[FMReceiver],
+    iq_batch: np.ndarray,
+    max_fft_rows: Optional[int] = None,
+) -> List[ReceivedAudio]:
+    """Receive many envelopes through the shared mono DSP in one pass.
+
+    Demodulation and the mono decode run as stacked NumPy ops
+    (:func:`decode_mono_rows`), then receiver-specific stochastic
+    effects (codec noise, cabin noise) batch through
+    :meth:`FMReceiver.apply_output_effects_batch` — random draws per row
+    with each receiver's own generator, deterministic shaping
+    vectorized. Every row is bit-identical to
+    ``receivers[i].receive(iq_batch[i])``.
+
+    Args:
+        receivers: one configured mono receiver per row; all must share
+            the DSP-relevant configuration (rates, cutoff, deviation,
+            de-emphasis).
         iq_batch: complex envelopes, shape ``(len(receivers), samples)``.
+        max_fft_rows: optional cap on the rows per FFT filtering pass.
 
     Returns:
         One :class:`ReceivedAudio` per row, in order.
@@ -197,54 +351,41 @@ def receive_mono_batch(
         receivers,
         iq_batch,
         supports_mono_batch,
-        "receive_mono_batch needs mono receivers without de-emphasis "
+        "receive_mono_batch needs mono receivers "
         "(stereo-capable receivers batch through receive_stereo_batch)",
     )
     if not receivers:
         return []
     ref = receivers[0]
-
     mpx_batch = fm_demodulate(iq_batch, ref.mpx_rate, ref.deviation_hz)
-    audio_batch = decode_mono(mpx_batch, ref.mpx_rate, ref.audio_rate)
-    audio_batch = ref._post_process(audio_batch)
-
-    results: List[ReceivedAudio] = []
-    for rx, audio_row, mpx_row in zip(receivers, audio_batch, mpx_batch):
-        left = np.ascontiguousarray(audio_row)
-        received = ReceivedAudio(
-            left=left,
-            right=left.copy(),
-            stereo_locked=False,
-            mpx=np.ascontiguousarray(mpx_row),
-            audio_rate=rx.audio_rate,
-        )
-        results.append(rx.apply_output_effects(received))
-    return results
+    rows = decode_mono_rows(receivers, mpx_batch, max_fft_rows)
+    return type(ref).apply_output_effects_batch(receivers, rows)
 
 
 def receive_stereo_batch(
-    receivers: Sequence[FMReceiver], iq_batch: np.ndarray
+    receivers: Sequence[FMReceiver],
+    iq_batch: np.ndarray,
+    max_fft_rows: Optional[int] = None,
 ) -> List[ReceivedAudio]:
     """Receive many envelopes through the shared stereo DSP in one pass.
 
     The stereo counterpart of :func:`receive_mono_batch`: demodulation,
-    the pilot-gated stereo decode
-    (:func:`~repro.fm.stereo.decode_stereo_batch`, whose pilot PLL
-    advances every waveform's state vector per time step) and the audio
-    post-filter all run over the full ``(points, samples)`` stack.
-    Per-row pilot detection and lock decisions are preserved — a row
-    whose pilot is missing falls back to mono *inside* the batch, exactly
-    as ``receivers[i].receive(iq_batch[i])`` would. Receiver-specific
-    stochastic effects then run row by row through
-    :meth:`FMReceiver.apply_output_effects`, left before right, with each
-    receiver's own generator, so every row is bit-identical to the serial
-    receive.
+    the pilot-gated stereo decode (whose pilot PLL advances every
+    waveform's state vector per time step) and the audio post-filter run
+    over the full ``(points, samples)`` stack
+    (:func:`decode_stereo_rows`), then receiver-specific stochastic
+    effects batch through
+    :meth:`FMReceiver.apply_output_effects_batch` — left before right,
+    each receiver's own generator — so every row is bit-identical to the
+    serial receive.
 
     Args:
-        receivers: one configured stereo-capable receiver per row
-            (without de-emphasis); all must share the DSP-relevant
-            configuration (rates, cutoff, deviation).
+        receivers: one configured stereo-capable receiver per row; all
+            must share the DSP-relevant configuration (rates, cutoff,
+            deviation, de-emphasis).
         iq_batch: complex envelopes, shape ``(len(receivers), samples)``.
+        max_fft_rows: optional cap on the rows per FFT filtering pass
+            (the pilot PLL always spans the full stack).
 
     Returns:
         One :class:`ReceivedAudio` per row, in order.
@@ -255,32 +396,12 @@ def receive_stereo_batch(
         receivers,
         iq_batch,
         supports_stereo_batch,
-        "receive_stereo_batch needs stereo-capable receivers without "
-        "de-emphasis (mono receivers batch through receive_mono_batch)",
+        "receive_stereo_batch needs stereo-capable receivers "
+        "(mono receivers batch through receive_mono_batch)",
     )
     if not receivers:
         return []
     ref = receivers[0]
-
     mpx_batch = fm_demodulate(iq_batch, ref.mpx_rate, ref.deviation_hz)
-    decoded = decode_stereo_batch(mpx_batch, ref.mpx_rate, ref.audio_rate)
-    # All rows share one MPX length, so the decoder's outputs stack; the
-    # serial receive post-processes left then right, and both are
-    # deterministic filters, so batching each channel separately keeps
-    # every row bit-identical.
-    left_batch = ref._post_process(np.stack([audio.left for audio in decoded]))
-    right_batch = ref._post_process(np.stack([audio.right for audio in decoded]))
-
-    results: List[ReceivedAudio] = []
-    for rx, audio, left_row, right_row, mpx_row in zip(
-        receivers, decoded, left_batch, right_batch, mpx_batch
-    ):
-        received = ReceivedAudio(
-            left=np.ascontiguousarray(left_row),
-            right=np.ascontiguousarray(right_row),
-            stereo_locked=audio.stereo_locked,
-            mpx=np.ascontiguousarray(mpx_row),
-            audio_rate=rx.audio_rate,
-        )
-        results.append(rx.apply_output_effects(received))
-    return results
+    rows = decode_stereo_rows(receivers, mpx_batch, max_fft_rows)
+    return type(ref).apply_output_effects_batch(receivers, rows)

@@ -10,6 +10,8 @@ its amplitude-calibration pilot.
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 import numpy as np
 
 from repro.constants import AUDIO_RATE_HZ, MPX_RATE_HZ
@@ -81,3 +83,75 @@ class SmartphoneReceiver(FMReceiver):
             mpx=received.mpx,
             audio_rate=received.audio_rate,
         )
+
+    @classmethod
+    def apply_output_effects_batch(
+        cls, receivers: Sequence["SmartphoneReceiver"], received: Sequence[ReceivedAudio]
+    ) -> List[ReceivedAudio]:
+        """Recording-chain effects for a whole batch, vectorized.
+
+        The codec-noise draws stay per row — left then right from each
+        receiver's own generator, the exact serial order — but the gain
+        application and the noise scale-and-add run as stacked array
+        ops, so the batched sweep backend pays the Python cost once per
+        partition instead of once per point. Rows whose configuration
+        the vector path cannot express (block-adaptive AGC) fall back to
+        the per-row :meth:`apply_output_effects`, which is bit-identical
+        by construction.
+        """
+        receivers = list(receivers)
+        received = list(received)
+        if not receivers:
+            return []
+        vectorizable = all(
+            isinstance(rx, SmartphoneReceiver)
+            and not (rx.agc_enabled and rx.agc_dynamic)
+            for rx in receivers
+        ) and len({row.left.shape for row in received}) == 1
+        if not vectorizable:
+            return [
+                rx.apply_output_effects(row) for rx, row in zip(receivers, received)
+            ]
+
+        n_rows = len(receivers)
+        stacks = {
+            "left": np.stack([row.left for row in received]),
+            "right": np.stack([row.right for row in received]),
+        }
+        out = {}
+        # Per-row static gains through the same AGC call the serial
+        # _finalize makes (1.0 when the AGC is off).
+        for channel in ("left", "right"):  # serial order: left before right
+            audio = stacks[channel]
+            gained = np.empty_like(audio)
+            for i, rx in enumerate(receivers):
+                if rx.agc_enabled:
+                    np.multiply(audio[i], rx._agc.static_gain(audio[i]), out=gained[i])
+                else:
+                    gained[i] = audio[i]
+            out[channel] = gained
+        # Codec noise: per-row draws (left first, then right — each
+        # receiver's own stream), one vectorized scale-and-add.
+        n_samples = stacks["left"].shape[-1]
+        noisy_rows = [i for i, rx in enumerate(receivers) if rx.codec_noise_db is not None]
+        if noisy_rows:
+            draws = np.empty((len(noisy_rows), 2, n_samples))
+            noise_rms = np.empty((len(noisy_rows), 1))
+            for k, i in enumerate(noisy_rows):
+                rx = receivers[i]
+                rx._rng.standard_normal(out=draws[k, 0])
+                rx._rng.standard_normal(out=draws[k, 1])
+                noise_rms[k, 0] = 10.0 ** (rx.codec_noise_db / 20.0)
+            out["left"][noisy_rows] += noise_rms * draws[:, 0]
+            out["right"][noisy_rows] += noise_rms * draws[:, 1]
+
+        return [
+            ReceivedAudio(
+                left=out["left"][i],
+                right=out["right"][i],
+                stereo_locked=row.stereo_locked,
+                mpx=row.mpx,
+                audio_rate=row.audio_rate,
+            )
+            for i, row in enumerate(received)
+        ]

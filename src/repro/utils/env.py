@@ -1,0 +1,78 @@
+"""Strict parsing of the library's environment knobs.
+
+Every ``REPRO_*`` tuning variable funnels through these helpers so a
+malformed value fails *at the knob* — a :class:`~repro.errors.
+ConfigurationError` naming the variable and the offending string —
+instead of crashing deep inside numpy arithmetic or, worse, being
+silently clamped to a default the operator never asked for.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def env_int(
+    name: str,
+    default: int,
+    minimum: Optional[int] = None,
+) -> int:
+    """Read an integer knob, strictly.
+
+    Args:
+        name: environment variable name.
+        default: value used when the variable is unset or blank.
+        minimum: inclusive lower bound; a parseable value below it is a
+            configuration error, not something to clamp silently.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
+    if minimum is not None and value < minimum:
+        raise ConfigurationError(
+            f"{name} must be >= {minimum}, got {raw!r}"
+        )
+    return value
+
+
+def env_float(
+    name: str,
+    default: float,
+    minimum: Optional[float] = None,
+    minimum_exclusive: bool = False,
+) -> float:
+    """Read a float knob, strictly (finite; optional lower bound)."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be a number, got {raw!r}"
+        ) from None
+    if not np.isfinite(value):
+        raise ConfigurationError(
+            f"{name} must be finite, got {raw!r}"
+        )
+    if minimum is not None:
+        if minimum_exclusive and value <= minimum:
+            raise ConfigurationError(
+                f"{name} must be > {minimum}, got {raw!r}"
+            )
+        if not minimum_exclusive and value < minimum:
+            raise ConfigurationError(
+                f"{name} must be >= {minimum}, got {raw!r}"
+            )
+    return value

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.channel.fading import MOTION_PROFILES, BodyMotionFading
+from repro.channel.fading import (
+    MOTION_PROFILES,
+    BodyMotionFading,
+    MotionFadingSpec,
+    stack_envelopes,
+)
 from repro.errors import ConfigurationError
 
 
@@ -39,4 +44,74 @@ class TestEnvelope:
     def test_deterministic_with_seed(self):
         a = BodyMotionFading("walking", rng=3).envelope(1000, 48_000.0)
         b = BodyMotionFading("walking", rng=3).envelope(1000, 48_000.0)
+        assert np.array_equal(a, b)
+
+
+class TestEnvelopeBatch:
+    def test_rows_bit_identical_to_successive_scalar_calls(self):
+        batch = BodyMotionFading("walking", rng=7).envelope_batch(5000, 48_000.0, 4)
+        serial = BodyMotionFading("walking", rng=7)
+        for i in range(4):
+            assert np.array_equal(batch[i], serial.envelope(5000, 48_000.0)), i
+
+    def test_empty_batch(self):
+        assert BodyMotionFading("walking", rng=0).envelope_batch(100, 48e3, 0).shape == (0, 100)
+
+    def test_rejects_negative_rows(self):
+        with pytest.raises(ConfigurationError):
+            BodyMotionFading("walking", rng=0).envelope_batch(100, 48e3, -1)
+
+
+class TestStackEnvelopes:
+    def test_distinct_models_and_mixed_profiles(self):
+        models = [
+            BodyMotionFading("walking", rng=1),
+            BodyMotionFading("running", rng=2),
+            BodyMotionFading("walking", rng=3),
+        ]
+        refs = [
+            BodyMotionFading("walking", rng=1),
+            BodyMotionFading("running", rng=2),
+            BodyMotionFading("walking", rng=3),
+        ]
+        stack = stack_envelopes(models, 4000, 48_000.0)
+        for i, ref in enumerate(refs):
+            assert np.array_equal(stack[i], ref.envelope(4000, 48_000.0)), i
+
+    def test_shared_stateful_model_consumes_stream_in_list_order(self):
+        shared = BodyMotionFading("running", rng=9)
+        ref = BodyMotionFading("running", rng=9)
+        stack = stack_envelopes([shared, shared], 4000, 48_000.0)
+        assert np.array_equal(stack[0], ref.envelope(4000, 48_000.0))
+        assert np.array_equal(stack[1], ref.envelope(4000, 48_000.0))
+
+    def test_foreign_fading_models_evaluate_at_their_slot(self):
+        class Constant:
+            def envelope(self, n_samples, sample_rate):
+                return np.full(n_samples, 0.5)
+
+        stack = stack_envelopes(
+            [Constant(), BodyMotionFading("walking", rng=4)], 1000, 48_000.0
+        )
+        assert np.array_equal(stack[0], np.full(1000, 0.5))
+        assert np.array_equal(
+            stack[1], BodyMotionFading("walking", rng=4).envelope(1000, 48_000.0)
+        )
+
+
+class TestMotionFadingSpec:
+    def test_picklable_and_frozen(self):
+        import pickle
+
+        spec = MotionFadingSpec("running")
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(ConfigurationError):
+            MotionFadingSpec("flying")
+
+    def test_build_is_deterministic_per_generator(self):
+        spec = MotionFadingSpec("walking")
+        a = spec.build(5).envelope(1000, 48_000.0)
+        b = spec.build(5).envelope(1000, 48_000.0)
         assert np.array_equal(a, b)

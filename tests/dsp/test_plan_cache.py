@@ -1,0 +1,108 @@
+"""DSP plan-cache tests: LRU behavior and the filters/spectrum hookup."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import plan_cache
+from repro.dsp.filters import bandpass_fir, design_lowpass_fir
+from repro.dsp.plan_cache import (
+    PLAN_CACHE_ENV_VAR,
+    cached_plan,
+    clear_plan_cache,
+    plan_cache_stats,
+)
+from repro.dsp.spectrum import power_spectrum
+
+FS = 48_000.0
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+class TestCachedPlan:
+    def test_miss_then_hit_returns_same_object(self):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return np.arange(4.0)
+
+        first = cached_plan(("k", 1), build)
+        second = cached_plan(("k", 1), build)
+        assert first is second
+        assert len(calls) == 1
+        stats = plan_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_distinct_keys_do_not_collide(self):
+        a = cached_plan(("k", 1), lambda: np.zeros(2))
+        b = cached_plan(("k", 2), lambda: np.ones(2))
+        assert not np.array_equal(a, b)
+
+    def test_plans_are_non_writable(self):
+        plan = cached_plan(("ro",), lambda: np.arange(3.0))
+        with pytest.raises(ValueError):
+            plan[0] = 99.0
+
+    def test_lru_evicts_oldest(self, monkeypatch):
+        monkeypatch.setenv(PLAN_CACHE_ENV_VAR, "2")
+        cached_plan(("a",), lambda: np.zeros(1))
+        cached_plan(("b",), lambda: np.zeros(1))
+        cached_plan(("a",), lambda: np.zeros(1))  # refresh a
+        cached_plan(("c",), lambda: np.zeros(1))  # evicts b
+        assert plan_cache_stats()["items"] == 2
+        rebuilt = []
+        cached_plan(("b",), lambda: rebuilt.append(1) or np.zeros(1))
+        assert rebuilt  # b was evicted, so its builder ran again
+
+    def test_zero_capacity_disables_caching(self, monkeypatch):
+        monkeypatch.setenv(PLAN_CACHE_ENV_VAR, "0")
+        calls = []
+        for _ in range(2):
+            plan = cached_plan(("off",), lambda: calls.append(1) or np.arange(2.0))
+            assert not plan.flags.writeable  # identical contract either way
+        assert len(calls) == 2
+        assert plan_cache_stats()["items"] == 0
+
+
+class TestDesignHookup:
+    def test_lowpass_design_is_cached_and_identical(self):
+        first = design_lowpass_fir(15_000.0, FS, 257)
+        second = design_lowpass_fir(15_000.0, FS, 257)
+        assert first is second
+        fresh = plan_cache._cache.copy()
+        clear_plan_cache()
+        again = design_lowpass_fir(15_000.0, FS, 257)
+        assert np.array_equal(again, first)
+        assert fresh  # the design really went through the cache
+
+    def test_bandpass_design_is_cached(self):
+        first = bandpass_fir(18_000.0, 20_000.0, 200_000.0, 257)
+        second = bandpass_fir(18_000.0, 20_000.0, 200_000.0, 257)
+        assert first is second
+
+    def test_invalid_designs_still_rejected_before_caching(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            design_lowpass_fir(15_000.0, FS, 256)
+        assert plan_cache_stats()["misses"] == 0
+
+    def test_welch_window_cached_and_spectrum_unchanged(self):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal(8192)
+        clear_plan_cache()
+        f1, p1 = power_spectrum(x, FS)
+        misses_after_first = plan_cache_stats()["misses"]
+        f2, p2 = power_spectrum(x, FS)
+        assert plan_cache_stats()["misses"] == misses_after_first
+        assert np.array_equal(p1, p2)
+        # Bit-identical to the uncached scipy path (same Hann window).
+        from scipy import signal as sp_signal
+
+        f3, p3 = sp_signal.welch(x, fs=FS, nperseg=4096)
+        assert np.array_equal(p1, p3)

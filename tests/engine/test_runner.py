@@ -151,9 +151,13 @@ class TestWorkerConfiguration:
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", "6")
         assert default_max_workers() == 6
 
-    def test_env_floor_is_one(self, monkeypatch):
-        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "0")
-        assert default_max_workers() == 1
+    def test_env_rejects_non_positive_counts(self, monkeypatch):
+        # Strict knob parsing: a nonsensical worker count is a
+        # configuration error naming the value, not a silent clamp to 1.
+        for raw in ("0", "-3"):
+            monkeypatch.setenv("REPRO_SWEEP_WORKERS", raw)
+            with pytest.raises(ConfigurationError, match=raw):
+                default_max_workers()
 
     def test_invalid_env_rejected(self, monkeypatch):
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", "many")

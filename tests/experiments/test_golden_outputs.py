@@ -1,8 +1,11 @@
-"""Golden-regression harness: frozen-seed outputs of every fig* module.
+"""Golden-regression harness: frozen-seed outputs of every fig* module,
+the deployment scale-out, and the report's numeric aggregates.
 
-Each of the 13 figure runners executes on a small fixed grid with a
-frozen seed; the full output dict is compared — element by element —
-against a committed JSON fixture under ``tests/experiments/golden/``.
+Each of the 13 figure runners (plus ``deployment_scale`` and the
+``report.collect_aggregates`` section numbers) executes on a small fixed
+grid with a frozen seed; the full output dict is compared — element by
+element — against a committed JSON fixture under
+``tests/experiments/golden/``.
 Any DSP, engine or backend change that drifts a figure's numbers fails
 loudly here, whichever execution backend runs the suite (the engine's
 backends are bit-identical by contract, so one fixture serves all four —
@@ -26,6 +29,7 @@ import numpy as np
 import pytest
 
 from repro.experiments import (
+    deployment_scale,
     fig02_survey,
     fig04_occupancy,
     fig05_stereo_usage,
@@ -39,6 +43,7 @@ from repro.experiments import (
     fig13_pesq_stereo,
     fig14_car,
     fig17_fabric,
+    report,
 )
 
 GOLDEN_DIR = Path(__file__).with_name("golden")
@@ -86,6 +91,14 @@ CASES = {
     "fig17_fabric": lambda: fig17_fabric.run(
         motions=("standing", "walking"), n_bits_low=50, n_bits_high=160, n_trials=1, rng=SEED
     ),
+    # Beyond the figures: the deployment scale-out sweep (8 devices
+    # overflow the dedicated channels, so the fixture pins both the
+    # dedicated and the shared-ALOHA regimes) and the numeric aggregates
+    # behind every report.py section.
+    "deployment_scale": lambda: deployment_scale.run(
+        device_counts=(1, 2, 4, 8), rng=SEED
+    ),
+    "report_aggregates": lambda: report.collect_aggregates(fast=True, rng=SEED),
 }
 
 REL_TOL = 1e-9
@@ -167,7 +180,8 @@ def test_every_figure_module_has_a_case():
         for module in pkgutil.iter_modules(experiments.__path__)
         if module.name.startswith("fig")
     }
-    assert modules == set(CASES), (
+    fig_cases = {name for name in CASES if name.startswith("fig")}
+    assert modules == fig_cases, (
         "golden CASES out of sync with repro.experiments fig* modules; "
-        f"missing {sorted(modules - set(CASES))}, stale {sorted(set(CASES) - modules)}"
+        f"missing {sorted(modules - fig_cases)}, stale {sorted(fig_cases - modules)}"
     )

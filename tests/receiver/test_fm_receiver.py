@@ -96,10 +96,32 @@ class TestReceiveStereoBatch:
     def test_support_predicates(self):
         assert supports_stereo_batch(FMReceiver())
         assert not supports_stereo_batch(FMReceiver(stereo_capable=False))
-        assert not supports_stereo_batch(FMReceiver(apply_deemphasis=True))
+        # De-emphasis no longer forces a fallback: the biquad runs as a
+        # 2-D pass, so de-emphasizing receivers batch like any other.
+        assert supports_stereo_batch(FMReceiver(apply_deemphasis=True))
+        assert supports_mono_batch(
+            FMReceiver(stereo_capable=False, apply_deemphasis=True)
+        )
         assert supports_stereo_batch(CarReceiver())
         assert supports_mono_batch(FMReceiver(stereo_capable=False))
         assert not supports_mono_batch(FMReceiver())
+
+    def test_deemphasis_batch_bit_identical(self):
+        iq_batch = np.stack([broadcast_iq(1000, 3000), broadcast_iq(2000)])
+        rows = receive_stereo_batch(
+            [FMReceiver(apply_deemphasis=True) for _ in range(2)], iq_batch
+        )
+        for i in range(2):
+            serial = FMReceiver(apply_deemphasis=True).receive(iq_batch[i])
+            assert np.array_equal(rows[i].left, serial.left), i
+            assert np.array_equal(rows[i].right, serial.right), i
+
+    def test_mixed_deemphasis_rejected(self):
+        iq_batch = np.stack([broadcast_iq(1000, 3000)] * 2)
+        with pytest.raises(ConfigurationError):
+            receive_stereo_batch(
+                [FMReceiver(), FMReceiver(apply_deemphasis=True)], iq_batch
+            )
 
     def test_rejects_mono_receivers(self):
         iq_batch = np.stack([broadcast_iq(1000)])

@@ -1,0 +1,109 @@
+"""Strict environment-knob parsing tests.
+
+Every ``REPRO_*`` tuning variable funnels through ``repro.utils.env``,
+so a malformed value must raise :class:`ConfigurationError` naming the
+variable and the offending string — never crash deep in numpy or be
+silently clamped.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.env import env_float, env_int
+
+VAR = "REPRO_TEST_KNOB"
+
+
+class TestEnvInt:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv(VAR, raising=False)
+        assert env_int(VAR, 7) == 7
+
+    def test_blank_returns_default(self, monkeypatch):
+        monkeypatch.setenv(VAR, "   ")
+        assert env_int(VAR, 7) == 7
+
+    def test_parses_value(self, monkeypatch):
+        monkeypatch.setenv(VAR, " 42 ")
+        assert env_int(VAR, 7) == 42
+
+    def test_malformed_names_variable_and_value(self, monkeypatch):
+        monkeypatch.setenv(VAR, "many")
+        with pytest.raises(ConfigurationError, match=rf"{VAR}.*'many'"):
+            env_int(VAR, 7)
+
+    def test_float_string_rejected(self, monkeypatch):
+        monkeypatch.setenv(VAR, "3.5")
+        with pytest.raises(ConfigurationError, match="3.5"):
+            env_int(VAR, 7)
+
+    def test_below_minimum_rejected_not_clamped(self, monkeypatch):
+        monkeypatch.setenv(VAR, "0")
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            env_int(VAR, 7, minimum=1)
+
+    def test_minimum_is_inclusive(self, monkeypatch):
+        monkeypatch.setenv(VAR, "1")
+        assert env_int(VAR, 7, minimum=1) == 1
+
+
+class TestEnvFloat:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv(VAR, raising=False)
+        assert env_float(VAR, 64.0) == 64.0
+
+    def test_parses_value(self, monkeypatch):
+        monkeypatch.setenv(VAR, "0.5")
+        assert env_float(VAR, 64.0) == 0.5
+
+    def test_malformed_names_variable_and_value(self, monkeypatch):
+        monkeypatch.setenv(VAR, "lots")
+        with pytest.raises(ConfigurationError, match=rf"{VAR}.*'lots'"):
+            env_float(VAR, 64.0)
+
+    def test_non_finite_rejected(self, monkeypatch):
+        for raw in ("inf", "nan", "-inf"):
+            monkeypatch.setenv(VAR, raw)
+            with pytest.raises(ConfigurationError, match="finite"):
+                env_float(VAR, 64.0)
+
+    def test_exclusive_minimum_rejects_boundary(self, monkeypatch):
+        monkeypatch.setenv(VAR, "0")
+        with pytest.raises(ConfigurationError, match="> 0"):
+            env_float(VAR, 64.0, minimum=0.0, minimum_exclusive=True)
+
+    def test_inclusive_minimum_accepts_boundary(self, monkeypatch):
+        monkeypatch.setenv(VAR, "0")
+        assert env_float(VAR, 64.0, minimum=0.0) == 0.0
+
+
+class TestEngineKnobsAreStrict:
+    """The engine's own knobs route through the strict parser."""
+
+    def test_batch_budget_malformed(self, monkeypatch):
+        from repro.engine.batch_backend import BATCH_MEMORY_ENV_VAR, batch_memory_budget_mb
+
+        monkeypatch.setenv(BATCH_MEMORY_ENV_VAR, "64MB")
+        with pytest.raises(ConfigurationError, match=r"REPRO_BATCH_MAX_MB.*'64MB'"):
+            batch_memory_budget_mb()
+
+    def test_batch_budget_must_be_positive(self, monkeypatch):
+        from repro.engine.batch_backend import BATCH_MEMORY_ENV_VAR, batch_memory_budget_mb
+
+        monkeypatch.setenv(BATCH_MEMORY_ENV_VAR, "0")
+        with pytest.raises(ConfigurationError, match="> 0"):
+            batch_memory_budget_mb()
+
+    def test_plan_cache_malformed(self, monkeypatch):
+        from repro.dsp.plan_cache import PLAN_CACHE_ENV_VAR, plan_cache_capacity
+
+        monkeypatch.setenv(PLAN_CACHE_ENV_VAR, "big")
+        with pytest.raises(ConfigurationError, match=r"REPRO_DSP_PLAN_CACHE.*'big'"):
+            plan_cache_capacity()
+
+    def test_workers_malformed(self, monkeypatch):
+        from repro.engine.runner import WORKERS_ENV_VAR, default_max_workers
+
+        monkeypatch.setenv(WORKERS_ENV_VAR, "4.5")
+        with pytest.raises(ConfigurationError, match="4.5"):
+            default_max_workers()
