@@ -9,6 +9,60 @@ not micro-benchmarks.
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.engine.planner import host_context
+
+ENGINE_ARTIFACT = Path(__file__).with_name("BENCH_engine.json")
+
+
+def merge_artifact(artifact: Path, section: str, payload: dict) -> dict:
+    """Update one section of a benchmark artifact, keeping the rest.
+
+    Every section is stamped with the measuring host's context (CPU
+    count, numpy version, platform) so recorded crossovers and speedups
+    stay interpretable across machines. The write is atomic (temp file +
+    rename in the artifact's directory): a crash or a concurrent reader
+    mid-write can never leave a truncated JSON behind.
+    """
+    record = {}
+    if artifact.exists():
+        try:
+            record = json.loads(artifact.read_text())
+        except ValueError:
+            record = {}
+    record[section] = dict(payload, host=host_context())
+    text = json.dumps(record, indent=2) + "\n"
+    fd, tmp = tempfile.mkstemp(
+        dir=str(artifact.parent), prefix=artifact.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, artifact)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return record
+
+
+@pytest.fixture
+def bench_artifact():
+    """Writer for sections of ``BENCH_engine.json`` (atomic, host-stamped)."""
+
+    def write(section: str, payload: dict) -> dict:
+        return merge_artifact(ENGINE_ARTIFACT, section, payload)
+
+    return write
+
 
 def run_once(benchmark, func, *args, **kwargs):
     """Run ``func`` exactly once under pytest-benchmark timing."""

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import json
 import time
-from pathlib import Path
 
 import pytest
 
@@ -22,26 +21,15 @@ import repro.engine.cache as cache_mod
 from repro.engine import BACKENDS
 from repro.experiments import deployment_scale
 
-ARTIFACT = Path(__file__).with_name("BENCH_engine.json")
-
 SEED = 2017
 DEVICE_COUNTS = (1, 2, 4, 8)
 KWARGS = dict(device_counts=DEVICE_COUNTS, frames_per_device=1, rng=SEED)
 
 
-def _merge_artifact(section: str, payload: dict) -> None:
-    record = {}
-    if ARTIFACT.exists():
-        try:
-            record = json.loads(ARTIFACT.read_text())
-        except ValueError:
-            record = {}
-    record[section] = payload
-    ARTIFACT.write_text(json.dumps(record, indent=2) + "\n")
-
-
 @pytest.mark.engine_bench
-def test_deployment_backend_matrix_with_warm_cache(tmp_path, monkeypatch):
+def test_deployment_backend_matrix_with_warm_cache(
+    tmp_path, monkeypatch, bench_artifact
+):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     # Pin the cold run to the default backend regardless of the shell's
     # REPRO_SWEEP_BACKEND, so cold_s compares across environments.
@@ -84,7 +72,7 @@ def test_deployment_backend_matrix_with_warm_cache(tmp_path, monkeypatch):
             round(v, 3) for v in reference["aggregate_goodput_bps"]
         ],
     }
-    _merge_artifact("deployment_scale", record)
+    bench_artifact("deployment_scale", record)
     print(f"\n=== deployment scale ===\n{json.dumps(record, indent=2)}")
 
     # The acceptance bar: warm runs synthesize nothing, on any backend,

@@ -25,6 +25,11 @@ Three measurements, all written to ``benchmarks/BENCH_engine.json``:
    of the batched speedups; now every point rides the vectorized path
    (``SweepResult.n_fallbacks == 0``, asserted) and the batched-vs-serial
    win is real.
+5. The ``auto`` backend on the two grids with *opposite* best backends:
+   the long-row Fig. 8 grid (where batched measurably loses) and the
+   short-row fading grid (where batched measurably wins). The planner
+   must land within a small factor of the best hand-picked backend on
+   both — the measurement that a wrong calibration can't hide behind.
 """
 
 from __future__ import annotations
@@ -32,7 +37,6 @@ from __future__ import annotations
 import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -40,33 +44,26 @@ import pytest
 from repro.channel.fading import MotionFadingSpec
 from repro.data.bits import random_bits
 from repro.data.fdm import FdmFskModem
-from repro.engine import BACKENDS, AmbientCache, SweepRunner, default_cache
+from repro.engine import (
+    BACKENDS,
+    AmbientCache,
+    AxisRef,
+    Scenario,
+    SweepRunner,
+    SweepSpec,
+    default_cache,
+)
 from repro.experiments import fig08_ber_overlay as fig08
 from repro.experiments import fig09_mrc as fig09
 from repro.experiments import fig10_stereo_ber as fig10
 from repro.experiments.common import ExperimentChain, measure_data_ber
 from repro.utils.rand import as_generator, child_generator
 
-ARTIFACT = Path(__file__).with_name("BENCH_engine.json")
-
 RATE = "100bps"
 N_BITS = 40
 SEED = 2017
 POWERS = fig08.DEFAULT_POWERS_DBM  # 5 powers
 DISTANCES = fig08.DEFAULT_DISTANCES_FT  # 8 distances
-
-
-def _merge_artifact(section: str, payload: dict) -> dict:
-    """Update one section of the benchmark artifact, keeping the rest."""
-    record = {}
-    if ARTIFACT.exists():
-        try:
-            record = json.loads(ARTIFACT.read_text())
-        except ValueError:
-            record = {}
-    record[section] = payload
-    ARTIFACT.write_text(json.dumps(record, indent=2) + "\n")
-    return record
 
 
 def _legacy_sweep() -> dict:
@@ -104,7 +101,7 @@ def no_persistent_cache(monkeypatch):
 
 
 @pytest.mark.engine_bench
-def test_engine_cached_sweep_speedup(no_persistent_cache):
+def test_engine_cached_sweep_speedup(no_persistent_cache, bench_artifact):
     cache = default_cache()
     assert cache.store is None
     cache.clear()
@@ -131,7 +128,7 @@ def test_engine_cached_sweep_speedup(no_persistent_cache):
         "speedup": round(speedup, 3),
         "cache": {k: stats[k] for k in ("hits", "misses", "items")},
     }
-    _merge_artifact("cached_vs_uncached", record)
+    bench_artifact("cached_vs_uncached", record)
     print(f"\n=== engine speedup ===\n{json.dumps(record, indent=2)}")
 
     # One ambient MPX + one modulated composite for the whole grid,
@@ -146,7 +143,7 @@ def test_engine_cached_sweep_speedup(no_persistent_cache):
 
 
 @pytest.mark.engine_bench
-def test_engine_backend_matrix_timings(no_persistent_cache):
+def test_engine_backend_matrix_timings(no_persistent_cache, bench_artifact):
     """Time the Fig. 8 sweep under every backend; record to the artifact.
 
     The front-end cache is warmed once up front, so each measurement is
@@ -184,7 +181,7 @@ def test_engine_backend_matrix_timings(no_persistent_cache):
             for backend in BACKENDS
         },
     }
-    _merge_artifact("backend_matrix", record)
+    bench_artifact("backend_matrix", record)
     print(f"\n=== backend matrix ===\n{json.dumps(record, indent=2)}")
 
     for backend in BACKENDS[1:]:
@@ -198,7 +195,7 @@ PLL_BENCH_SAMPLES = 12_000
 
 
 @pytest.mark.engine_bench
-def test_stereo_batched_speedup(no_persistent_cache):
+def test_stereo_batched_speedup(no_persistent_cache, bench_artifact):
     """Stereo vectorization, measured at two levels on bit-identical work.
 
     1. Component: ``PhaseLockedLoop.track_batch`` versus per-waveform
@@ -281,7 +278,7 @@ def test_stereo_batched_speedup(no_persistent_cache):
             "speedup": speedup,
         },
     }
-    _merge_artifact("stereo_batch", record)
+    bench_artifact("stereo_batch", record)
     print(f"\n=== stereo batch ===\n{json.dumps(record, indent=2)}")
 
     assert results["batched"] == results["serial"]
@@ -305,7 +302,7 @@ narrows the stack; see ``_chunk_limit``)."""
 
 
 @pytest.mark.engine_bench
-def test_zero_fallback_speedup(no_persistent_cache):
+def test_zero_fallback_speedup(no_persistent_cache, bench_artifact):
     """Fading grid, serial vs batched: the lane that used to be closed.
 
     The Fig. 9 MRC grid with ``MotionFadingSpec`` fading on every link —
@@ -359,7 +356,7 @@ def test_zero_fallback_speedup(no_persistent_cache):
             "batched_now": results["batched"].n_fallbacks,
         },
     }
-    _merge_artifact("zero_fallback", record)
+    bench_artifact("zero_fallback", record)
     print(f"\n=== zero fallback ===\n{json.dumps(record, indent=2)}")
 
     assert all(
@@ -371,3 +368,104 @@ def test_zero_fallback_speedup(no_persistent_cache):
     # The acceptance bar is a real measured win (> 1x) on the grid that
     # previously saw none of the batched speedups.
     assert speedup > 1.0, f"fading grid batched only {speedup:.2f}x vs serial"
+
+
+def _fig08_bench_scenario(modem) -> Scenario:
+    """The exact Fig. 8 grid the backend matrix times, as a Scenario
+    (so ``SweepResult.plan`` is observable)."""
+
+    def prepare(gen):
+        bits = random_bits(N_BITS, child_generator(gen, "payload", RATE))
+        return {"bits": bits, "waveform": modem.modulate(bits)}
+
+    return Scenario(
+        name="fig08",
+        sweep=SweepSpec.grid(power_dbm=POWERS, distance_ft=DISTANCES),
+        prepare=prepare,
+        base_chain={"program": "news", "stereo_decode": False},
+        chain_axes=("power_dbm", "distance_ft"),
+        rng_keys=(RATE, AxisRef("power_dbm"), AxisRef("distance_ft")),
+        payload="waveform",
+        measure=fig08.score_ber,
+        measure_params={"modem": modem},
+    )
+
+
+def _best_of(scenario, cache, backend: str, repeats: int = 2):
+    """Best-of-N wall time (and last result) of one warm backend run."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = SweepRunner(
+            scenario, rng=SEED, cache=cache, backend=backend
+        ).run()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+@pytest.mark.engine_bench
+def test_auto_backend(no_persistent_cache, bench_artifact):
+    """``auto`` vs the best hand-picked backend, on opposed grids.
+
+    The two grids whose best backends *differ*: the long-row Fig. 8 BER
+    grid, where the chunker narrows the batched stack until it loses to
+    serial, and the short-row fading grid, where the vectorized stack
+    wins. The planner must stay within a small factor of the best single
+    backend on both (acceptance bar 1.1x; asserted at 1.35x for CI
+    noise — the decision asserts below are the non-flaky part), record a
+    decision for every partition, and stay bit-identical with serial.
+    """
+    grids = {
+        "fig08_long_rows": _fig08_bench_scenario(fig08.make_modem(RATE)),
+    }
+    fading = fig09.build_scenario(
+        FdmFskModem(symbol_rate=200),
+        distances_ft=FADING_DISTANCES,
+        max_factor=FADING_REPS,
+        n_bits=FADING_N_BITS,
+    )
+    fading.base_chain = dict(fading.base_chain, fading=MotionFadingSpec("running"))
+    grids["fading_short_rows"] = fading
+
+    record = {"benchmark": "auto_vs_best_hand_picked_backend"}
+    for name, scenario in grids.items():
+        cache = AmbientCache()
+        SweepRunner(scenario, rng=SEED, cache=cache, backend="serial").run()  # warm
+        timings = {}
+        results = {}
+        for backend in ("serial", "batched", "auto"):
+            results[backend], timings[backend] = _best_of(scenario, cache, backend)
+        auto = results["auto"]
+        best = min(timings["serial"], timings["batched"])
+        ratio = timings["auto"] / best
+        record[name] = {
+            "n_points": scenario.sweep.n_points,
+            "backend_s": {k: round(v, 4) for k, v in timings.items()},
+            "auto_vs_best": round(ratio, 3),
+            "auto_label": auto.backend,
+            "plan": [
+                {"partition": d.partition, "backend": d.backend, "rows": len(d.point_indices)}
+                for d in auto.plan
+            ],
+        }
+
+        # Structural (non-flaky) acceptance: every point planned exactly
+        # once, results bit-identical, and the decisions match the
+        # measured crossover — no batched on long rows, batched on short.
+        planned = sorted(i for d in auto.plan for i in d.point_indices)
+        assert planned == list(range(scenario.sweep.n_points))
+        assert all(
+            np.array_equal(a, s)
+            for a, s in zip(auto.values, results["serial"].values)
+        ), name
+        if name == "fig08_long_rows":
+            assert all(d.backend != "batched" for d in auto.plan)
+        else:
+            assert all(d.backend == "batched" for d in auto.plan)
+            assert auto.n_fallbacks == 0
+        # Timing bar, with headroom over the 1.1x acceptance target for
+        # shared-runner noise; the artifact records the exact ratio.
+        assert ratio < 1.35, f"auto {ratio:.2f}x of best backend on {name}"
+
+    bench_artifact("auto_backend", record)
+    print(f"\n=== auto backend ===\n{json.dumps(record, indent=2)}")

@@ -2,10 +2,22 @@
 
 The environment has setuptools but no `wheel`, which breaks PEP 660
 editable installs; `python setup.py develop` (or `pip install -e .` with
-older tooling) goes through this shim instead. All metadata lives in
-pyproject.toml.
+older tooling) goes through this shim. Metadata is kept minimal — the
+project is normally used straight from the tree via ``PYTHONPATH=src``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="0.7",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    # The sweep planner's default cost-model constants ship with the code.
+    package_data={"repro.engine": ["calibration.json"]},
+    entry_points={
+        "console_scripts": [
+            "repro-calibrate = repro.engine.planner:main",
+        ]
+    },
+)

@@ -7,8 +7,10 @@ grid, the per-point RNG derivation, the transmission payload and the
 measurement — as plain data (:class:`AxisRef` templates, ``chain_axes``,
 module-level measures), so a grid point can be shipped across a process
 boundary; a :class:`SweepRunner` executes it through one of four
-backends (``serial`` / ``thread`` / ``process`` / ``batched``, see
-``REPRO_SWEEP_BACKEND``) with a keyed :class:`AmbientCache` so each
+explicit backends (``serial`` / ``thread`` / ``process`` / ``batched``,
+see ``REPRO_SWEEP_BACKEND``) or lets the cost-model planner pick per
+partition (``auto``, the single-worker default — decisions are recorded
+on ``SweepResult.plan``) with a keyed :class:`AmbientCache` so each
 ambient program is synthesized and FM-modulated exactly once per sweep
 instead of once per grid point — and at most once *ever* per
 configuration when ``REPRO_CACHE_DIR`` points the cache at a persistent
@@ -68,8 +70,18 @@ from repro.engine.deployment import (
     ReceiverPlacement,
     make_roster,
 )
+from repro.engine.planner import (
+    CalibrationConstants,
+    PartitionFeatures,
+    PlanDecision,
+    calibrate,
+    load_calibration,
+    plan_sweep,
+)
 from repro.engine.results import SweepResult, format_axis_value, power_key
 from repro.engine.runner import (
+    AUTO_BACKEND,
+    BACKEND_CHOICES,
     BACKENDS,
     SweepRunner,
     default_backend,
@@ -88,30 +100,38 @@ from repro.engine.scenario import (
 from repro.engine.store import CacheStore
 
 __all__ = [
+    "AUTO_BACKEND",
     "AmbientCache",
     "Axis",
     "AxisRef",
     "BACKENDS",
+    "BACKEND_CHOICES",
     "CachedAmbient",
     "CacheStore",
+    "CalibrationConstants",
     "ChannelAssignment",
     "ChannelPlan",
     "DeploymentScenario",
     "DeviceSpec",
     "GridPoint",
+    "PartitionFeatures",
     "PayloadSelector",
+    "PlanDecision",
     "PointRun",
     "ReceiverPlacement",
     "Scenario",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
+    "calibrate",
     "default_backend",
     "default_cache",
     "default_max_workers",
     "format_axis_value",
+    "load_calibration",
     "make_roster",
     "payload_fingerprint",
+    "plan_sweep",
     "power_key",
     "run_scenario",
 ]

@@ -96,17 +96,39 @@ def batch_memory_budget_mb() -> float:
     )
 
 
-def _chunk_limit(n_samples: int) -> int:
+def chunk_limit(n_samples: int, budget_mb: Optional[float] = None) -> int:
     """How many grid points fit one vectorized chunk under the memory cap.
 
     The cap bounds the *working set* of each FFT/transmit pass — the
     decode stages receive it as their ``max_fft_rows`` — not the small
     per-row state that persists across passes (decimated pilot bands,
     audio-rate rows), which is what lets the stereo PLL span a whole
-    partition regardless of this limit.
+    partition regardless of this limit. The planner calls this with the
+    same row length it predicts costs for, so a recorded
+    :class:`~repro.engine.planner.PlanDecision` names the exact chunk
+    rows the batched executor will use.
     """
+    if budget_mb is None:
+        budget_mb = batch_memory_budget_mb()
     bytes_per_point = n_samples * _TRANSMIT_BYTES_PER_SAMPLE
-    return max(1, int(batch_memory_budget_mb() * 1e6 / max(bytes_per_point, 1)))
+    return max(1, int(budget_mb * 1e6 / max(bytes_per_point, 1)))
+
+
+def receiver_partition_signature(receiver) -> tuple:
+    """The homogeneity key one vectorized partition shares.
+
+    Points whose receivers agree on this tuple decode through one stacked
+    pass (mono or stereo); the planner groups by the same key so its
+    per-partition cost estimates line up one-to-one with the partitions
+    the executor will actually run.
+    """
+    stereo = supports_stereo_batch(receiver)
+    assert stereo or supports_mono_batch(receiver)
+    return (
+        type(receiver), stereo, receiver.mpx_rate, receiver.audio_rate,
+        receiver.deviation_hz, receiver.audio_cutoff_hz,
+        receiver.apply_deemphasis,
+    )
 
 
 def run_batched_backend(
@@ -116,8 +138,15 @@ def run_batched_backend(
     seeds: Sequence[int],
     cache: Optional[AmbientCache],
     ambient_master: int,
+    max_chunk_rows: Optional[int] = None,
 ) -> Tuple[List[object], int, int]:
     """Execute the grid with per-front-end vectorization.
+
+    Args:
+        max_chunk_rows: optional cap on the rows of one vectorized chunk,
+            applied on top of the memory-budget limit. The planner passes
+            its calibrated per-partition chunk budget through here; the
+            cap changes nothing numerically (chunking never does).
 
     Returns:
         ``(values, n_batched, n_fallbacks)`` — values in grid order, how
@@ -136,7 +165,7 @@ def run_batched_backend(
     chains: Dict[int, ExperimentChain] = {}
     payloads: Dict[int, np.ndarray] = {}
 
-    eligible = scenario.payload is not None and scenario.uses_chain
+    eligible = not scenario.measure_driven
     batchable_scenario = (
         eligible and cache is not None and scenario.cache_ambient
     )
@@ -208,7 +237,7 @@ def run_batched_backend(
         _run_group(
             scenario, data, points, group_iq[key], ambients[key],
             indices, chains, gens, link_rngs, receivers, budgets,
-            envelopes, values,
+            envelopes, values, max_chunk_rows,
         )
 
     for i in fallback:
@@ -250,6 +279,7 @@ def _run_group(
     budgets: Dict[int, object],
     envelopes: Dict[int, np.ndarray],
     values: List[object],
+    max_chunk_rows: Optional[int] = None,
 ) -> None:
     """Vectorize one shared-front-end group of grid points."""
     # One group can still mix receiver configurations (e.g. a
@@ -260,16 +290,11 @@ def _run_group(
     # receiver batches one way or the other.
     partitions: "Dict[tuple, List[int]]" = {}
     for i in indices:
-        rx = receivers[i]
-        stereo = supports_stereo_batch(rx)
-        assert stereo or supports_mono_batch(rx)
-        sig = (
-            type(rx), stereo, rx.mpx_rate, rx.audio_rate, rx.deviation_hz,
-            rx.audio_cutoff_hz, rx.apply_deemphasis,
-        )
-        partitions.setdefault(sig, []).append(i)
+        partitions.setdefault(receiver_partition_signature(receivers[i]), []).append(i)
 
-    limit = _chunk_limit(iq.size)
+    limit = chunk_limit(iq.size)
+    if max_chunk_rows is not None:
+        limit = max(1, min(limit, int(max_chunk_rows)))
     for sig, members in partitions.items():
         rx_type, stereo = sig[0], sig[1]
         ref = receivers[members[0]]

@@ -32,7 +32,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.cache import AmbientCache
-from repro.engine.execution import execute_point, make_ambient
+from repro.engine.execution import composite_entry, execute_point
 from repro.engine.scenario import GridPoint, Scenario
 from repro.engine.store import CACHE_DIR_ENV_VAR, CacheStore
 
@@ -83,15 +83,14 @@ def warm_store(
     """
     ensured = 0
     seen = set()
-    if not scenario.cache_ambient or scenario.payload is None or not scenario.uses_chain:
+    if not scenario.cache_ambient or scenario.measure_driven:
         return ensured
-    from repro.experiments.common import ExperimentChain
 
     for point in points:
         payload = scenario.payload_for(point, data)
-        front_end = ExperimentChain(**scenario.chain_kwargs(point)).front_end()
-        ambient = make_ambient(scenario, point, cache, ambient_master)
-        key = ambient.composite_key(front_end, payload)
+        ambient, front_end, key = composite_entry(
+            scenario, point, payload, cache, ambient_master
+        )
         if key in seen:
             continue
         seen.add(key)

@@ -88,6 +88,14 @@ class SweepResult:
             deployment layer) execute per point by construction and are
             not counted. ``None`` when a backend without a fallback
             concept (serial/thread/process) ran.
+        plan: the planner's per-partition decisions
+            (:class:`~repro.engine.planner.PlanDecision` records — chosen
+            backend, chunk budget, predicted costs, feature vector) when
+            the ``auto`` backend ran, else ``None``. Decisions carry
+            *global* grid indices, so :meth:`merge` concatenates shard
+            plans (grid order) whenever every shard has one — shards may
+            have chosen different backends — and drops the plan when any
+            shard ran an explicit backend.
         scenario_name: name of the scenario that produced the values;
             :meth:`merge` refuses to stitch shards of different
             scenarios (same-axes grids from unrelated experiments would
@@ -106,6 +114,7 @@ class SweepResult:
     backend: str = "serial"
     scenario_name: str = ""
     n_fallbacks: Optional[int] = None
+    plan: Optional[List[object]] = None
 
     @classmethod
     def merge(cls, *results: "SweepResult") -> "SweepResult":
@@ -164,6 +173,14 @@ class SweepResult:
         n_fallbacks: Optional[int] = None
         if all(r.n_fallbacks is not None for r in results):
             n_fallbacks = sum(r.n_fallbacks for r in results)
+        plan: Optional[List[object]] = None
+        if all(r.plan is not None for r in results):
+            # Grid order via each decision's first global point index —
+            # decisions never span shards, so first-member order is total.
+            plan = sorted(
+                (d for r in results for d in r.plan),
+                key=lambda d: d.point_indices[0],
+            )
         return cls(
             spec=spec,
             points=[p for p, _ in ordered],
@@ -175,6 +192,7 @@ class SweepResult:
             backend=f"merged[{len(results)}]",
             scenario_name=results[0].scenario_name,
             n_fallbacks=n_fallbacks,
+            plan=plan,
         )
 
     def __len__(self) -> int:

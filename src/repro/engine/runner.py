@@ -30,10 +30,19 @@
      batches; ``SweepResult.n_fallbacks`` counts batch-eligible points
      that had to run serially (now structurally zero) while
      measure-driven scenarios execute per point by construction.
+   - ``auto`` — the planner (:mod:`repro.engine.planner`) partitions the
+     grid exactly as the batched executor would, prices each partition
+     under every executor with a calibrated cost model, and dispatches
+     each to its cheapest backend — short-row partitions ride the
+     vectorized stack while long-row ones run serially — recording every
+     decision on :attr:`~repro.engine.results.SweepResult.plan`.
 
 Select with the ``backend`` argument or the ``REPRO_SWEEP_BACKEND``
-environment variable; worker counts come from ``max_workers`` /
-``REPRO_SWEEP_WORKERS``.
+environment variable (strictly parsed — a typo raises
+:class:`~repro.errors.ConfigurationError` naming the variable and its
+choices); worker counts come from ``max_workers`` /
+``REPRO_SWEEP_WORKERS``. With neither set, single-worker runners default
+to ``auto``.
 
 Ambient caching: when the scenario opts in (the default), every point
 receives a :class:`~repro.engine.cache.CachedAmbient` view keyed by a
@@ -57,7 +66,7 @@ from repro.engine.execution import execute_point
 from repro.engine.results import SweepResult
 from repro.engine.scenario import Scenario
 from repro.errors import ConfigurationError
-from repro.utils.env import env_int
+from repro.utils.env import env_choice, env_int
 from repro.utils.rand import RngLike, as_generator, derive_seed
 
 WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
@@ -67,7 +76,13 @@ BACKEND_ENV_VAR = "REPRO_SWEEP_BACKEND"
 """Environment override for the execution backend."""
 
 BACKENDS = ("serial", "thread", "process", "batched")
-"""Recognized sweep backends."""
+"""The explicit executors."""
+
+AUTO_BACKEND = "auto"
+"""Cost-model planned execution (see :mod:`repro.engine.planner`)."""
+
+BACKEND_CHOICES = BACKENDS + (AUTO_BACKEND,)
+"""Everything ``backend=`` / ``REPRO_SWEEP_BACKEND`` accepts."""
 
 
 def default_max_workers() -> int:
@@ -81,15 +96,13 @@ def default_max_workers() -> int:
 
 
 def default_backend() -> Optional[str]:
-    """Backend named by ``REPRO_SWEEP_BACKEND`` (``None`` when unset)."""
-    raw = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
-    if not raw:
-        return None
-    if raw not in BACKENDS:
-        raise ConfigurationError(
-            f"{BACKEND_ENV_VAR} must be one of {BACKENDS}, got {raw!r}"
-        )
-    return raw
+    """Backend named by ``REPRO_SWEEP_BACKEND`` (``None`` when unset).
+
+    Strictly parsed through :func:`~repro.utils.env.env_choice`: a typo
+    raises :class:`~repro.errors.ConfigurationError` naming the variable
+    and the accepted spellings instead of silently running serial.
+    """
+    return env_choice(BACKEND_ENV_VAR, None, BACKEND_CHOICES)
 
 
 class SweepRunner:
@@ -105,10 +118,11 @@ class SweepRunner:
             backends; ``None`` reads ``REPRO_SWEEP_WORKERS``, and when
             that is unset too, pool backends size themselves to the
             machine. Results are identical at any worker count.
-        backend: one of :data:`BACKENDS`; ``None`` reads
+        backend: one of :data:`BACKEND_CHOICES`; ``None`` reads
             ``REPRO_SWEEP_BACKEND`` and finally falls back to ``thread``
-            when ``max_workers > 1`` else ``serial`` (the pre-backend
-            behavior of ``REPRO_SWEEP_WORKERS``).
+            when ``max_workers > 1`` (honoring an explicit
+            ``REPRO_SWEEP_WORKERS``) else ``auto`` — the planner picks
+            per partition, and its decisions land on ``result.plan``.
     """
 
     def __init__(
@@ -124,14 +138,14 @@ class SweepRunner:
         self.cache = cache
         self._explicit_workers = max_workers is not None
         self.max_workers = default_max_workers() if max_workers is None else max(1, int(max_workers))
-        if backend is not None and backend not in BACKENDS:
+        if backend is not None and backend not in BACKEND_CHOICES:
             raise ConfigurationError(
-                f"backend must be one of {BACKENDS}, got {backend!r}"
+                f"backend must be one of {BACKEND_CHOICES}, got {backend!r}"
             )
         if backend is None:
             backend = default_backend()
         if backend is None:
-            backend = "thread" if self.max_workers > 1 else "serial"
+            backend = "thread" if self.max_workers > 1 else AUTO_BACKEND
         self.backend = backend
 
     def _pool_workers(self) -> int:
@@ -207,6 +221,7 @@ class SweepRunner:
         backend_label = self.backend
         n_workers = 1
         n_fallbacks: Optional[int] = None
+        plan = None
         start = time.perf_counter()
         if self.backend == "serial" or len(points) <= 1:
             # Pools and stacking buy nothing on a <=1-point grid; the
@@ -233,6 +248,18 @@ class SweepRunner:
             n_workers = self._pool_workers()
             values = run_process_backend(
                 scenario, data, points, seeds, cache, ambient_master, n_workers
+            )
+        elif self.backend == AUTO_BACKEND:
+            from repro.engine.planner import plan_and_run
+
+            values, n_fallbacks, n_workers, plan, backend_label = plan_and_run(
+                scenario,
+                data,
+                points,
+                seeds,
+                cache,
+                ambient_master,
+                self._pool_workers(),
             )
         else:  # batched
             from repro.engine.batch_backend import run_batched_backend
@@ -263,6 +290,7 @@ class SweepRunner:
             backend=backend_label,
             scenario_name=scenario.name,
             n_fallbacks=n_fallbacks,
+            plan=plan,
         )
 
 

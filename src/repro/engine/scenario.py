@@ -284,6 +284,19 @@ class Scenario:
         return None
 
     @property
+    def measure_driven(self) -> bool:
+        """Whether the *measure* performs the transmission (no runner payload).
+
+        Measure-driven points (Fig. 12's two-phone cancellation, the
+        deployment layer's MAC-gated frames, the survey figures) execute
+        per point by construction: there is no runner-performed
+        transmission for a backend to vectorize, ship or predict, so the
+        batched backend runs them serially without counting fallbacks and
+        the planner routes them straight to the serial executor.
+        """
+        return self.payload is None or not self.uses_chain
+
+    @property
     def uses_chain(self) -> bool:
         return (
             self.base_chain is not None

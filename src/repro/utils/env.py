@@ -10,11 +10,41 @@ silently clamped to a default the operator never asked for.
 from __future__ import annotations
 
 import os
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+
+
+def env_choice(
+    name: str,
+    default: Optional[str],
+    choices: Sequence[str],
+) -> Optional[str]:
+    """Read a string knob constrained to a fixed set of choices.
+
+    The value is stripped and lower-cased before matching, so
+    ``REPRO_SWEEP_BACKEND=Batched`` works; anything outside ``choices``
+    raises a :class:`~repro.errors.ConfigurationError` naming the
+    variable, the offending string and the valid choices — a typo'd
+    backend name must never silently fall back to a default.
+
+    Args:
+        name: environment variable name.
+        default: value used when the variable is unset or blank (may be
+            ``None`` for "no preference").
+        choices: the accepted values.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    value = raw.lower()
+    if value not in choices:
+        raise ConfigurationError(
+            f"{name} must be one of {tuple(choices)}, got {raw!r}"
+        )
+    return value
 
 
 def env_int(

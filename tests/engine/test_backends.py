@@ -1,11 +1,12 @@
-"""Golden-seed equivalence of the four sweep backends.
+"""Golden-seed equivalence of the sweep backends.
 
 The engine's contract: the per-point streams are pre-derived from the
 sweep generator, so ``serial``, ``thread``, ``process`` and ``batched``
-execution return bit-identical results — on a data-BER scenario
-(Fig. 8), an audio-metric scenario (Fig. 7) and the stereo-decoding
-scenarios (Fig. 10/13, whose pilot PLL the batched backend vectorizes
-through the multi-waveform ``track_batch``) alike.
+execution — and ``auto``, which may split one grid across several of
+them — return bit-identical results: on a data-BER scenario (Fig. 8),
+an audio-metric scenario (Fig. 7) and the stereo-decoding scenarios
+(Fig. 10/13, whose pilot PLL the batched backend vectorizes through the
+multi-waveform ``track_batch``) alike.
 """
 
 import numpy as np
@@ -29,7 +30,7 @@ from repro.experiments import fig10_stereo_ber as fig10
 from repro.experiments import fig13_pesq_stereo as fig13
 
 SEED = 2017
-BACKENDS = ("serial", "thread", "process", "batched")
+BACKENDS = ("serial", "thread", "process", "batched", "auto")
 
 FIG08_KWARGS = dict(
     rate="1.6kbps",

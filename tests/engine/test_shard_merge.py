@@ -6,9 +6,21 @@ shards run anywhere (any backend, any machine sharing the cache dir) and
 merge back into a result bit-identical to the whole-grid run.
 """
 
+import json
+
 import pytest
 
-from repro.engine import AmbientCache, Scenario, SweepResult, SweepRunner, SweepSpec
+from repro.audio.tones import tone
+from repro.constants import AUDIO_RATE_HZ
+from repro.engine import (
+    AmbientCache,
+    CalibrationConstants,
+    PayloadSelector,
+    Scenario,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+)
 from repro.errors import ConfigurationError
 
 SEED = 2017
@@ -175,3 +187,100 @@ class TestMerge:
     def test_empty_merge_rejected(self):
         with pytest.raises(ConfigurationError):
             SweepResult.merge()
+
+
+def _mean_abs(run):
+    import numpy as np
+
+    return float(np.mean(np.abs(run.received.mono)))
+
+
+class TestPlanMerge:
+    """``SweepResult.plan`` propagation across shards under ``auto``."""
+
+    @pytest.fixture(autouse=True)
+    def polarized_calibration(self, tmp_path, monkeypatch):
+        """Pin a calibration whose serial/batched crossover is unambiguous,
+        so the decisions asserted below never depend on the shipped
+        (host-measured) constants: short rows must go batched, long rows
+        must not."""
+        constants = CalibrationConstants(
+            point_overhead_s=1e-4,
+            serial_sample_ns=100.0,
+            vector_sample_short_ns=20.0,
+            vector_sample_long_ns=400.0,
+            short_row_samples=30_000,
+            long_row_samples=200_000,
+        )
+        path = tmp_path / "calibration.json"
+        path.write_text(json.dumps(constants.to_payload()))
+        monkeypatch.setenv("REPRO_PLANNER_CALIBRATION", str(path))
+
+    def _two_row_scenario(self) -> Scenario:
+        # One grid, two payload lengths via PayloadSelector: the short
+        # half lands in the planner's batched regime, the long half in
+        # its serial regime — a single sweep whose partitions (and hence
+        # shards) execute under different chosen backends.
+        short = tone(1000.0, 0.02, AUDIO_RATE_HZ, amplitude=0.9)
+        long_ = tone(1000.0, 0.5, AUDIO_RATE_HZ, amplitude=0.9)
+        return Scenario(
+            name="rows",
+            sweep=SweepSpec.grid(row=("short", "long"), distance_ft=(2, 4, 8, 16)),
+            prepare=lambda gen: {"short": short, "long": long_},
+            base_chain={"program": "silence", "stereo_decode": False},
+            chain_axes=("distance_ft",),
+            payload=PayloadSelector("row", {"short": "short", "long": "long"}),
+            measure=_mean_abs,
+        )
+
+    def test_heterogeneous_shards_merge_with_plans(self):
+        cache = AmbientCache()
+        whole = SweepRunner(
+            self._two_row_scenario(), rng=SEED, cache=cache, backend="auto"
+        ).run()
+        # Points 0-3 are the short rows, 4-7 the long rows (row-major).
+        shards = [
+            SweepRunner(
+                self._two_row_scenario(), rng=SEED, cache=cache, backend="auto"
+            ).run(point_slice=bounds)
+            for bounds in ((0, 4), (4, 8))
+        ]
+        assert shards[0].plan[0].backend == "batched"
+        assert shards[0].backend == "auto[batched:4]"
+        assert shards[1].plan[0].backend == "serial"
+        assert shards[1].backend == "auto[serial:4]"
+
+        merged = SweepResult.merge(shards[1], shards[0])
+        assert merged.values == whole.values
+        assert merged.backend == "merged[2]"
+        # Decisions concatenate in grid order with global indices, and
+        # fallback counts sum (the batched shard took none).
+        assert [d.backend for d in merged.plan] == ["batched", "serial"]
+        assert sorted(
+            i for d in merged.plan for i in d.point_indices
+        ) == list(range(8))
+        assert merged.n_fallbacks == 0
+
+    def test_whole_grid_auto_plans_both_backends(self):
+        result = SweepRunner(
+            self._two_row_scenario(), rng=SEED, cache=AmbientCache(), backend="auto"
+        ).run()
+        assert {d.backend for d in result.plan} == {"batched", "serial"}
+        assert result.backend == "auto[batched:4+serial:4]"
+        serial = SweepRunner(
+            self._two_row_scenario(), rng=SEED, cache=AmbientCache(), backend="serial"
+        ).run()
+        assert result.values == serial.values
+
+    def test_explicit_backend_shard_drops_merged_plan(self):
+        cache = AmbientCache()
+        auto_shard = SweepRunner(
+            self._two_row_scenario(), rng=SEED, cache=cache, backend="auto"
+        ).run(point_slice=(0, 4))
+        serial_shard = SweepRunner(
+            self._two_row_scenario(), rng=SEED, cache=cache, backend="serial"
+        ).run(point_slice=(4, 8))
+        assert serial_shard.plan is None
+        merged = SweepResult.merge(auto_shard, serial_shard)
+        assert merged.plan is None
+        assert merged.n_fallbacks is None  # serial shard has no count

@@ -119,12 +119,12 @@ class TestFadingGridAllBackends:
         scenario = build_fading_scenario()
         return {
             backend: _run(scenario, backend)
-            for backend in ("serial", "thread", "process", "batched")
+            for backend in ("serial", "thread", "process", "batched", "auto")
         }
 
-    def test_bit_identical_across_all_four_backends(self, by_backend):
+    def test_bit_identical_across_all_backends(self, by_backend):
         serial = by_backend["serial"]
-        for backend in ("thread", "process", "batched"):
+        for backend in ("thread", "process", "batched", "auto"):
             assert by_backend[backend].values == serial.values, backend
 
     def test_batched_takes_zero_fading_fallbacks(self, by_backend):

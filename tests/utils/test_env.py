@@ -9,7 +9,7 @@ silently clamped.
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.utils.env import env_float, env_int
+from repro.utils.env import env_choice, env_float, env_int
 
 VAR = "REPRO_TEST_KNOB"
 
@@ -77,6 +77,28 @@ class TestEnvFloat:
         assert env_float(VAR, 64.0, minimum=0.0) == 0.0
 
 
+class TestEnvChoice:
+    CHOICES = ("serial", "batched", "auto")
+
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv(VAR, raising=False)
+        assert env_choice(VAR, None, self.CHOICES) is None
+        assert env_choice(VAR, "auto", self.CHOICES) == "auto"
+
+    def test_blank_returns_default(self, monkeypatch):
+        monkeypatch.setenv(VAR, "   ")
+        assert env_choice(VAR, "auto", self.CHOICES) == "auto"
+
+    def test_normalizes_case_and_whitespace(self, monkeypatch):
+        monkeypatch.setenv(VAR, "  Batched ")
+        assert env_choice(VAR, None, self.CHOICES) == "batched"
+
+    def test_invalid_names_variable_and_choices(self, monkeypatch):
+        monkeypatch.setenv(VAR, "gpu")
+        with pytest.raises(ConfigurationError, match=rf"{VAR}.*serial.*'gpu'"):
+            env_choice(VAR, None, self.CHOICES)
+
+
 class TestEngineKnobsAreStrict:
     """The engine's own knobs route through the strict parser."""
 
@@ -107,3 +129,21 @@ class TestEngineKnobsAreStrict:
         monkeypatch.setenv(WORKERS_ENV_VAR, "4.5")
         with pytest.raises(ConfigurationError, match="4.5"):
             default_max_workers()
+
+    def test_backend_typo_names_variable_and_choices(self, monkeypatch):
+        from repro.engine.runner import BACKEND_ENV_VAR, default_backend
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "gpu")
+        with pytest.raises(
+            ConfigurationError, match=r"REPRO_SWEEP_BACKEND.*auto.*'gpu'"
+        ):
+            default_backend()
+
+    def test_planner_calibration_path_must_exist(self, monkeypatch, tmp_path):
+        from repro.engine.planner import CALIBRATION_ENV_VAR, load_calibration
+
+        monkeypatch.setenv(CALIBRATION_ENV_VAR, str(tmp_path / "missing.json"))
+        with pytest.raises(
+            ConfigurationError, match="REPRO_PLANNER_CALIBRATION"
+        ):
+            load_calibration()
