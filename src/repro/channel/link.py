@@ -30,6 +30,7 @@ from repro.channel.antenna import Antenna, DIPOLE_POSTER, HEADPHONE_WIRE
 from repro.channel.noise import complex_awgn
 from repro.channel.pathloss import free_space_path_loss_db
 from repro.errors import LinkBudgetError
+from repro.utils.env import fast_numerics
 from repro.utils.rand import RngLike, as_generator, child_generator
 from repro.utils.units import feet_to_meters
 from repro.utils.validation import ensure_1d
@@ -229,7 +230,10 @@ def transmit_batch(
     :func:`repro.channel.noise.complex_awgn`, filled into one
     preallocated ``(rows, 2, samples)`` scratch (no per-row Python
     arithmetic or temporaries) — so each output row is bit-identical to
-    the serial link.
+    the serial link. Under ``REPRO_NUMERICS=fast`` the per-row draws are
+    replaced by one batched ``standard_normal`` from the first row's
+    generator (statistically identical, not bit-identical — gated by the
+    tolerance-tier goldens instead).
 
     Args:
         iq: shared unit-amplitude complex envelope, 1-D.
@@ -256,9 +260,15 @@ def transmit_batch(
             f"got {n_rows} budgets but {len(envelopes)} fading envelopes"
         )
     snr_db = batched_rf_snr_db(budgets)
-    clean = iq.astype(complex)
-
-    out = np.empty((n_rows, iq.size), dtype=complex)
+    # Fast mode runs the whole stack in single precision (complex64
+    # rows, float32 fading envelopes and noise): the channel's own noise
+    # dwarfs the ~1e-7 relative rounding, every downstream pass moves
+    # half the bytes, and the FFT filters in the receive chain run their
+    # cheaper float32 transforms. Exact mode keeps complex128 end to
+    # end.
+    fast = fast_numerics()
+    clean = iq.astype(np.complex64 if fast else complex)
+    out = np.empty((n_rows, iq.size), dtype=np.complex64 if fast else complex)
     if envelopes is None or all(env is None for env in envelopes):
         # One shared clean row: the power term is the scalar the serial
         # link computes, reused for every row.
@@ -277,10 +287,41 @@ def transmit_batch(
                         f"expected ({iq.size},)"
                     )
                 np.multiply(clean, env, out=out[row])
-        power = np.mean(np.abs(out) ** 2, axis=-1)
+        if fast:
+            # mean(|z|^2) without the hypot-then-square detour: the real
+            # view interleaves re/im, so twice the mean of its squares is
+            # the mean squared magnitude (float64 accumulation keeps the
+            # power estimate accurate).
+            power = 2.0 * np.mean(
+                out.view(np.float32) ** 2, axis=-1, dtype=np.float64
+            )
+        else:
+            power = np.mean(np.abs(out) ** 2, axis=-1)
 
     noise_power = power / (10.0 ** (snr_db / 10.0))
     scales = np.sqrt(noise_power / 2.0)
+
+    if fast and n_rows:
+        # REPRO_NUMERICS=fast: one batched float32 standard_normal for
+        # the whole stack instead of two float64 fills per row. The fill
+        # runs on an SFC64 generator seeded from the first row's stream
+        # (the fastest bit generator numpy ships; the per-row generators
+        # other than the first stay untouched), lands interleaved and is
+        # viewed as complex — so the combine pass of the exact path
+        # disappears and the noise is scaled and added in place. The
+        # draws are iid standard normal either way; only the stream
+        # consumption (and hence the realization) differs, which is
+        # exactly what fast mode trades away and the tolerance-tier
+        # goldens bound.
+        scratch = np.empty((n_rows, 2 * iq.size), dtype=np.float32)
+        fill = np.random.Generator(
+            np.random.SFC64(int(as_generator(rngs[0]).integers(0, 2 ** 63)))
+        )
+        fill.standard_normal(out=scratch, dtype=np.float32)
+        noise = scratch.view(np.complex64)
+        noise *= np.asarray(scales, dtype=np.float32).reshape(n_rows, 1)
+        out += noise
+        return out
 
     # Per-row draws into one preallocated scratch — each generator's two
     # standard_normal fills, exactly like complex_awgn — then a single

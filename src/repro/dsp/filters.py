@@ -108,6 +108,13 @@ def filter_signal(taps: np.ndarray, signal: np.ndarray) -> np.ndarray:
     taps = np.asarray(taps, dtype=float)
     if taps.ndim != 1 or taps.size % 2 == 0:
         raise ConfigurationError("taps must be a 1-D odd-length array")
+    if signal.dtype in (np.float32, np.complex64):
+        # Single-precision signals stay single precision (and the FFT
+        # convolution runs the cheaper float32 transforms) instead of
+        # being silently promoted through float64 taps. Double-precision
+        # inputs — everything the exact numerics mode produces — are
+        # untouched.
+        taps = taps.astype(np.float32)
     delay = (taps.size - 1) // 2
     pad = np.zeros(signal.shape[:-1] + (delay,), dtype=signal.dtype)
     padded = np.concatenate([signal, pad], axis=-1)

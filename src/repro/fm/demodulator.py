@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.constants import FM_MAX_DEVIATION_HZ, MPX_RATE_HZ
 from repro.errors import SignalError
+from repro.utils.env import fast_numerics
 from repro.utils.validation import ensure_positive, ensure_signal
 
 
@@ -46,30 +47,57 @@ def fm_demodulate(
         raise SignalError("iq must be a complex envelope")
     sample_rate = ensure_positive(sample_rate, "sample_rate")
     deviation_hz = ensure_positive(deviation_hz, "deviation_hz")
-    magnitude = np.abs(iq)
-    if not np.all(np.any(magnitude > 0, axis=-1)):
-        raise SignalError("iq contains no signal (all zeros)")
-    # Quadrature discriminator. Guard against zero samples from hard
-    # channel fades by substituting the previous sample (limiter behavior).
-    # The floor is per waveform, so a batch demodulates each row exactly
-    # as it would alone.
-    floor = 1e-12 * np.max(magnitude, axis=-1, keepdims=True)
-    safe = np.where(magnitude > floor, iq, floor)
-    if safe.ndim == 1:
-        increments = np.angle(safe[1:] * np.conj(safe[:-1]))
+    if fast_numerics():
+        # REPRO_NUMERICS=fast: one fused lag product over the whole
+        # stack. This gives up the exact-mode contract twice over — the
+        # 2-D buffered iterator perturbs the complex multiply by an ULP
+        # for some lengths, and the below-floor limiter substitution is
+        # skipped entirely (an exactly-zero sample contributes a zero
+        # phase increment instead of holding the previous sample), which
+        # also skips the magnitude/floor passes over the stack. The
+        # no-carrier guard stays, on the cheaper complex compare.
+        if not np.all(np.any(iq != 0, axis=-1)):
+            raise SignalError("iq contains no signal (all zeros)")
+        increments = np.angle(iq[..., 1:] * np.conj(iq[..., :-1]))
+        if increments.shape[-1] == 0:
+            return np.zeros(iq.shape[:-1] + (1,))
+        # Single fused scaling written straight into the output (the
+        # exact path's two scaling passes and the concatenate collapse
+        # into one multiply plus a first-sample copy). The dtype follows
+        # the input: a complex64 stack from the fast transmit path keeps
+        # the MPX in float32 for the receive chain's filters.
+        out = np.empty(iq.shape, dtype=increments.dtype)
+        np.multiply(
+            increments, sample_rate / (2.0 * np.pi * deviation_hz), out=out[..., 1:]
+        )
+        out[..., 0] = out[..., 1]
+        return out
     else:
-        # Per-row evaluation of the exact 1-D expression. A single 2-D
-        # pass over the lag-product views routes through numpy's
-        # buffered iterator, whose chunk boundaries differ from the 1-D
-        # case and perturb the complex multiply by an ULP for some
-        # waveform lengths — per-row contiguous views take the same
-        # code path as the serial demodulate for every length, keeping
-        # the batched backend's bit-identity contract unconditional.
-        # (Each row is still one vectorized C call; only the cross-row
-        # fusion is given up, which is noise at these sizes.)
-        increments = np.empty(safe.shape[:-1] + (safe.shape[-1] - 1,))
-        for row in range(safe.shape[0]):
-            increments[row] = np.angle(safe[row, 1:] * np.conj(safe[row, :-1]))
+        magnitude = np.abs(iq)
+        if not np.all(np.any(magnitude > 0, axis=-1)):
+            raise SignalError("iq contains no signal (all zeros)")
+        # Quadrature discriminator. Guard against zero samples from hard
+        # channel fades by substituting the previous sample (limiter
+        # behavior). The floor is per waveform, so a batch demodulates
+        # each row exactly as it would alone.
+        floor = 1e-12 * np.max(magnitude, axis=-1, keepdims=True)
+        safe = np.where(magnitude > floor, iq, floor)
+        if safe.ndim == 1:
+            increments = np.angle(safe[1:] * np.conj(safe[:-1]))
+        else:
+            # Per-row evaluation of the exact 1-D expression. A single
+            # 2-D pass over the lag-product views routes through numpy's
+            # buffered iterator, whose chunk boundaries differ from the
+            # 1-D case and perturb the complex multiply by an ULP for
+            # some waveform lengths — per-row contiguous views take the
+            # same code path as the serial demodulate for every length,
+            # keeping the batched backend's bit-identity contract
+            # unconditional. (Each row is still one vectorized C call;
+            # only the cross-row fusion is given up — that is what
+            # REPRO_NUMERICS=fast buys back.)
+            increments = np.empty(safe.shape[:-1] + (safe.shape[-1] - 1,))
+            for row in range(safe.shape[0]):
+                increments[row] = np.angle(safe[row, 1:] * np.conj(safe[row, :-1]))
     inst_freq = increments * sample_rate / (2.0 * np.pi)
     if inst_freq.shape[-1] == 0:
         return np.zeros(iq.shape[:-1] + (1,))

@@ -118,7 +118,10 @@ class FMReceiver:
         (smartphone codec noise, the car cabin) override it to keep the
         random draws per row (each receiver's own generator, left before
         right) while running the deterministic shaping as stacked array
-        ops over the batch.
+        ops over the batch. Under ``REPRO_NUMERICS=fast`` those
+        overrides collapse the per-row draws into one batched
+        ``standard_normal`` per partition — statistically identical, not
+        bit-identical, and gated by the tolerance-tier goldens.
         """
         return [rx.apply_output_effects(row) for rx, row in zip(receivers, received)]
 

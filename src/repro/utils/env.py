@@ -16,6 +16,12 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
+NUMERICS_ENV_VAR = "REPRO_NUMERICS"
+"""Environment knob selecting the numerics mode (``exact`` / ``fast``)."""
+
+NUMERICS_CHOICES = ("exact", "fast")
+"""Accepted :data:`NUMERICS_ENV_VAR` values."""
+
 
 def env_choice(
     name: str,
@@ -45,6 +51,28 @@ def env_choice(
             f"{name} must be one of {tuple(choices)}, got {raw!r}"
         )
     return value
+
+
+def numerics_mode() -> str:
+    """The active numerics mode: ``"exact"`` (default) or ``"fast"``.
+
+    ``exact`` keeps every kernel bit-identical to the seed figures (the
+    per-row loops in fading interpolation, the FM discriminator and the
+    receiver output-effect draws exist purely for that contract).
+    ``fast`` fuses those loops into single 2-D kernels and batches the
+    noise draws — faster, statistically equivalent, but *not*
+    bit-identical; it is gated by the tolerance-tier golden suite
+    instead of the exact-tier fixtures. Read from the environment at
+    call time so tests can monkeypatch :data:`NUMERICS_ENV_VAR`.
+    """
+    value = env_choice(NUMERICS_ENV_VAR, "exact", NUMERICS_CHOICES)
+    assert value is not None  # default is a member of NUMERICS_CHOICES
+    return value
+
+
+def fast_numerics() -> bool:
+    """True when :func:`numerics_mode` is ``"fast"``."""
+    return numerics_mode() == "fast"
 
 
 def env_int(

@@ -38,6 +38,7 @@ from repro.engine.planner import (
 from repro.errors import ConfigurationError
 from repro.experiments import fig08_ber_overlay as fig08
 from repro.experiments import fig09_mrc as fig09
+from repro.utils.env import fast_numerics
 from repro.utils.rand import as_generator
 
 SEED = 2017
@@ -236,6 +237,12 @@ class TestDecisionGates:
         # "Under default calibration" is the contract being tested.
         monkeypatch.delenv("REPRO_PLANNER_CALIBRATION", raising=False)
 
+    @pytest.mark.skipif(
+        fast_numerics(),
+        reason="fast_vector_factor intentionally moves the serial/batched "
+        "crossover under REPRO_NUMERICS=fast; this gate encodes exact-mode "
+        "pricing",
+    )
     def test_never_batched_on_fig08_long_row_grid(self):
         # The grid the backend-matrix benchmark measures regressing ~2x
         # under batched: 100 bps payload -> 0.4 s waveform -> 192k-sample

@@ -1,0 +1,274 @@
+"""Tolerance-tier golden harness: the gate for ``REPRO_NUMERICS=fast``.
+
+The exact tier (:mod:`test_golden_outputs`) pins every figure bit-for-bit
+and therefore cannot run under the fast numerics mode, whose fused 2-D
+kernels and batched noise draws intentionally abandon bit-identity. This
+tier re-runs the same frozen-seed small grids and compares against
+fixtures under ``tests/experiments/golden_tol/`` with *statistical*
+tolerances instead of equality:
+
+- **BER series** must land within a binomial confidence interval of the
+  fixture value: ``|p - p0| <= z*sqrt(p0*(1-p0)/n) + floor/n`` with
+  ``z = 3`` and a two-error floor, where ``n`` is the number of bits the
+  grid actually decodes. A different-but-iid noise realization moves a
+  48-bit BER estimate by a few errors; a broken demodulator moves it far
+  outside the interval.
+- **SNR / frequency-response series** (dB) must stay within an absolute
+  1.5 dB window — measured fast-vs-exact deltas on these grids top out
+  near 0.26 dB, while a real chain regression (wrong filter, wrong
+  scaling) shifts whole series by many dB.
+- **PESQ series** are compared on the normalized MOS-LQO scale via
+  :func:`repro.audio.pesq.mos_lqo` with a 0.05 window (~0.18 on the raw
+  1-4.5 scale; measured fast deltas are under 0.007).
+- Grid axes, locks, labels and counts stay exact.
+
+Fixtures are regenerated **under exact mode only** (the tier gates fast
+*against* exact, so fast output must never become the reference):
+
+    PYTHONPATH=src python -m pytest tests/experiments/test_golden_tolerance.py --regen-golden-tol
+
+Because the tolerance grids deliberately reuse the exact tier's CASES,
+each ``golden_tol/`` fixture must stay byte-identical to its ``golden/``
+sibling; ``test_tolerance_fixtures_track_exact_tier`` enforces that in
+the default (exact) suite, so an intentional exact-tier regen that
+forgets to re-validate the fast gate fails loudly instead of silently
+comparing fast mode against stale references.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.audio.pesq import mos_lqo
+from repro.utils.env import fast_numerics, numerics_mode
+
+from test_golden_outputs import CASES, GOLDEN_DIR, assert_matches, canonicalize
+
+GOLDEN_TOL_DIR = Path(__file__).with_name("golden_tol")
+
+BER_Z = 3.0
+"""Binomial CI half-width in standard errors."""
+
+BER_FLOOR = 2.0
+"""Additive floor in bit errors — keeps the interval non-degenerate at
+``p0 = 0`` (a zero-BER fixture still tolerates a couple of flipped bits
+from a different noise realization)."""
+
+DB_TOL = 1.5
+"""Absolute dB window for SNR-like series."""
+
+PESQ_TOL = 0.05
+"""Absolute window on the [0, 1] MOS-LQO scale."""
+
+EXACT = ("exact",)
+
+
+def DB(tol: float = DB_TOL):
+    return ("db", tol)
+
+
+def BER(n_bits: int):
+    return ("ber", n_bits)
+
+
+def PESQ(tol: float = PESQ_TOL):
+    return ("pesq", tol)
+
+
+# Per-case ordered rules: the first regex that matches a flattened leaf
+# path (e.g. ``P-60[1]`` or ``snr_distance.P-50[0]``) picks the
+# comparison kind. Float leaves matching no rule are an error — every
+# new output key must be classified deliberately. Bools, ints, strings
+# and None always compare exactly.
+TOL_CASES = {
+    "fig06_freq_response": [("freq_hz", EXACT), (r"(mono|stereo)_snr_db", DB())],
+    "fig07_snr_distance": [("distances_ft", EXACT), (r"^P-", DB())],
+    "fig08_ber_overlay": [("distances_ft", EXACT), (r"^P-", BER(48))],
+    "fig09_mrc": [("distances_ft", EXACT), (r"^mrc", BER(160))],
+    "fig10_stereo_ber": [("distances_ft", EXACT), (r"^(overlay|stereo)_", BER(48))],
+    "fig11_pesq_overlay": [("distances_ft", EXACT), (r"^P-", PESQ())],
+    "fig12_pesq_cooperative": [("distances_ft", EXACT), (r"^P-", PESQ())],
+    "fig13_pesq_stereo": [
+        ("distances_ft", EXACT),
+        (r"^lock_", EXACT),
+        (r"^P-", PESQ()),
+    ],
+    "fig14_car": [
+        ("distances_ft", EXACT),
+        (r"^snr_P-", DB()),
+        (r"^pesq_P-", PESQ()),
+    ],
+    # fig17's golden grid decodes 50 low-rate and 160 high-rate bits in a
+    # single trial (see CASES).
+    "fig17_fabric": [
+        ("motions", EXACT),
+        (r"^ber_100bps", BER(50)),
+        (r"^ber_1\.6kbps_mrc2", BER(160)),
+    ],
+    # The deployment scale-out is MAC-layer arithmetic on top of decoded
+    # link budgets; its golden grid is insensitive to the fast kernels,
+    # so it gates at full precision.
+    "deployment_scale": [(r".", EXACT)],
+    # report.collect_aggregates(fast=True) bit counts: fig08 at 120
+    # bits, fig09 MRC at 800, fabric at 150/800 bits x 2 trials.
+    "report_aggregates": [
+        (r"^(survey|occupancy|stereo_usage|power|deployment)\.", EXACT),
+        (r"\.(distances_ft|freq_hz|device_counts|motions)", EXACT),
+        (r"^freq_response\.", DB()),
+        (r"^snr_distance\.", DB()),
+        (r"^car\.snr_db", DB()),
+        (r"^car\.pesq", PESQ()),
+        (r"^pesq_overlay\.", PESQ()),
+        (r"^ber_100bps\.", BER(120)),
+        (r"^mrc\.", BER(800)),
+        (r"^fabric\.ber_100bps", BER(300)),
+        (r"^fabric\.ber_1\.6kbps_mrc2", BER(1600)),
+    ],
+}
+
+TOL_EXCLUDED = {
+    "fig02_survey": "survey-data driven; no randomized receive chain",
+    "fig04_occupancy": "station-database scan; no randomized receive chain",
+    "fig05_stereo_usage": "program-audio measurement; no randomized receive chain",
+}
+
+
+def flatten(value, path=""):
+    """Yield ``(leaf_path, leaf)`` pairs for a canonicalized output."""
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            yield from flatten(sub, f"{path}.{key}" if path else str(key))
+    elif isinstance(value, list):
+        for i, sub in enumerate(value):
+            yield from flatten(sub, f"{path}[{i}]")
+    else:
+        yield path, value
+
+
+def kind_for(rules, path):
+    for pattern, kind in rules:
+        if re.search(pattern, path):
+            return kind
+    return None
+
+
+def assert_within_tolerance(name, rules, actual, expected):
+    flat_expected = dict(flatten(expected))
+    flat_actual = dict(flatten(actual))
+    assert set(flat_actual) == set(flat_expected), (
+        f"{name}: output keys changed; "
+        f"new {sorted(set(flat_actual) - set(flat_expected))[:8]}, "
+        f"gone {sorted(set(flat_expected) - set(flat_actual))[:8]}"
+    )
+    for path, exp in flat_expected.items():
+        act = flat_actual[path]
+        if isinstance(exp, bool) or exp is None or isinstance(exp, str):
+            assert act == exp, f"{name}.{path}: {act!r} != fixture {exp!r}"
+            continue
+        kind = kind_for(rules, path)
+        assert kind is not None, (
+            f"{name}.{path}: no tolerance rule matches this key — classify "
+            "it in TOL_CASES (exact / db / ber / pesq) before relying on it"
+        )
+        if kind[0] == "exact":
+            assert_matches(act, exp, f"{name}.{path}")
+        elif kind[0] == "db":
+            assert abs(act - exp) <= kind[1], (
+                f"{name}.{path}: {act} is {abs(act - exp):.3f} dB from "
+                f"fixture {exp}, tolerance {kind[1]} dB"
+            )
+        elif kind[0] == "ber":
+            n = kind[1]
+            tol = BER_Z * math.sqrt(exp * (1.0 - exp) / n) + BER_FLOOR / n
+            assert abs(act - exp) <= tol, (
+                f"{name}.{path}: BER {act} vs fixture {exp} exceeds the "
+                f"z={BER_Z} binomial interval +-{tol:.4f} at n={n}"
+            )
+        elif kind[0] == "pesq":
+            delta = abs(mos_lqo(act) - mos_lqo(exp))
+            assert delta <= kind[1], (
+                f"{name}.{path}: PESQ {act} vs fixture {exp} differs by "
+                f"{delta:.4f} MOS-LQO, tolerance {kind[1]}"
+            )
+        else:  # pragma: no cover - TOL_CASES authoring error
+            raise AssertionError(f"unknown tolerance kind {kind!r}")
+
+
+@pytest.mark.golden
+@pytest.mark.parametrize("name", sorted(TOL_CASES))
+def test_tolerance_golden_output(name, regen_golden_tol):
+    fixture = GOLDEN_TOL_DIR / f"{name}.json"
+    if regen_golden_tol:
+        assert numerics_mode() == "exact", (
+            "tolerance fixtures are the exact-mode reference that gates "
+            "REPRO_NUMERICS=fast; regenerate them with the variable unset"
+        )
+        result = canonicalize(CASES[name]())
+        GOLDEN_TOL_DIR.mkdir(exist_ok=True)
+        fixture.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        return
+    if not fast_numerics():
+        pytest.skip(
+            "tolerance tier gates REPRO_NUMERICS=fast; under exact mode "
+            "the exact tier already pins these grids bit-for-bit"
+        )
+    assert fixture.exists(), (
+        f"missing tolerance fixture {fixture}; generate it under exact "
+        "mode with `pytest tests/experiments/test_golden_tolerance.py "
+        "--regen-golden-tol` and commit the file"
+    )
+    expected = json.loads(fixture.read_text())
+    result = canonicalize(CASES[name]())
+    assert_within_tolerance(name, TOL_CASES[name], result, expected)
+
+
+def test_tolerance_fixtures_track_exact_tier():
+    """Each ``golden_tol/`` fixture mirrors its ``golden/`` sibling.
+
+    The tolerance grids reuse the exact tier's CASES, so under exact mode
+    both tiers produce the same bytes. Pinning that equality here means a
+    ``--regen-golden`` that moves a figure forces a matching
+    ``--regen-golden-tol`` — i.e. a conscious re-validation of the fast
+    gate — instead of leaving the fast leg comparing against a stale
+    reference.
+    """
+    for name in sorted(TOL_CASES):
+        exact = GOLDEN_DIR / f"{name}.json"
+        tol = GOLDEN_TOL_DIR / f"{name}.json"
+        assert tol.exists(), f"missing {tol}; run --regen-golden-tol"
+        assert tol.read_text() == exact.read_text(), (
+            f"{tol.name} is stale relative to the exact tier; rerun "
+            "--regen-golden-tol (under exact mode) and commit the diff"
+        )
+
+
+def test_every_figure_module_covered_or_excluded():
+    """Every fig* module is tolerance-gated or explicitly excluded."""
+    import pkgutil
+
+    import repro.experiments as experiments
+
+    modules = {
+        module.name
+        for module in pkgutil.iter_modules(experiments.__path__)
+        if module.name.startswith("fig")
+    }
+    covered = {name for name in TOL_CASES if name.startswith("fig")}
+    excluded = set(TOL_EXCLUDED)
+    assert not covered & excluded, (
+        f"modules both covered and excluded: {sorted(covered & excluded)}"
+    )
+    assert modules == covered | excluded, (
+        "tolerance tier out of sync with repro.experiments fig* modules; "
+        f"unclassified {sorted(modules - covered - excluded)}, "
+        f"stale {sorted((covered | excluded) - modules)}"
+    )
+    assert set(TOL_CASES) <= set(CASES), (
+        "tolerance cases must reuse the exact tier's frozen grids; "
+        f"unknown {sorted(set(TOL_CASES) - set(CASES))}"
+    )
