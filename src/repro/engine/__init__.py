@@ -51,7 +51,13 @@ into a picklable Scenario whose axes include device count, per-device
 power, ALOHA slot count and sign density. Sweeps also shard:
 ``SweepRunner.run(point_slice=(start, stop))`` executes a contiguous
 slice with the whole grid's pre-derived seeds, and
-:meth:`SweepResult.merge` stitches shards back bit-identically.
+:meth:`SweepResult.merge` stitches shards back bit-identically. The
+distributed launcher (:func:`launch_sweep`, :mod:`repro.engine.launcher`)
+fans those shards out across worker processes — surviving crashes and
+stragglers by re-slicing and re-queueing, merging back bit-identically —
+and :class:`SweepService` (:mod:`repro.engine.service`) puts an asyncio
+``submit`` / ``status`` / ``fetch`` front door on it so many concurrent
+submissions share one warm :class:`CacheStore`.
 
 Determinism contract: the per-point streams are pre-derived from the
 sweep generator in grid order (exactly the draws the legacy nested loops
@@ -62,6 +68,8 @@ call sites.
 """
 
 from repro.engine.cache import AmbientCache, CachedAmbient, default_cache, payload_fingerprint
+from repro.engine.launcher import LaunchReport, Shard, launch_sweep
+from repro.engine.service import JobStatus, SweepService
 from repro.engine.deployment import (
     ChannelAssignment,
     ChannelPlan,
@@ -114,20 +122,25 @@ __all__ = [
     "DeploymentScenario",
     "DeviceSpec",
     "GridPoint",
+    "JobStatus",
+    "LaunchReport",
     "PartitionFeatures",
     "PayloadSelector",
     "PlanDecision",
     "PointRun",
     "ReceiverPlacement",
     "Scenario",
+    "Shard",
     "SweepResult",
     "SweepRunner",
+    "SweepService",
     "SweepSpec",
     "calibrate",
     "default_backend",
     "default_cache",
     "default_max_workers",
     "format_axis_value",
+    "launch_sweep",
     "load_calibration",
     "make_roster",
     "payload_fingerprint",

@@ -1,0 +1,620 @@
+"""Distributed sweep launcher: shard fan-out with retries, stragglers, merge.
+
+The sharded-sweep kernel made a grid slice a first-class unit of work:
+seeds are pre-derived for the *whole* grid (:func:`~repro.engine.runner.
+derive_streams`), so any contiguous range of points executes
+bit-identically anywhere, and :meth:`~repro.engine.results.SweepResult.
+merge` stitches ranges back. This module adds the missing fan-out — a
+job-queue orchestrator that:
+
+- slices a compiled :class:`~repro.engine.scenario.Scenario` grid into
+  shards and dispatches them to a pool of worker processes, one shard
+  per worker at a time;
+- detects dead workers (a crash, an OOM kill, the chaos knob below) and
+  stragglers (a shard past its per-shard deadline) and *re-slices* the
+  affected range into halves before re-queueing it, so retried work
+  spreads across the pool;
+- discards duplicated completions — determinism makes speculative
+  retries free of coordination: two copies of a point compute the same
+  bytes, so whichever arrives first wins and the loser is dropped
+  unread;
+- merges accepted shard results into one whole-grid
+  :class:`~repro.engine.results.SweepResult` (merge-aware cache
+  counters; ``elapsed_s`` sums per-shard compute time while
+  :attr:`LaunchReport.wall_s` reports wall-clock).
+
+Cross-machine runs fall out of the shared on-disk
+:class:`~repro.engine.store.CacheStore`: point ``REPRO_CACHE_DIR`` (or
+``cache_dir=``) at a shared filesystem, and the parent pre-warms it with
+every front-end composite the grid needs (one synthesis per distinct
+front end, via :func:`~repro.engine.process_backend.warm_store`);
+workers anywhere then load bytes instead of synthesizing, and a warm
+re-run performs zero syntheses.
+
+Chaos knob: ``REPRO_LAUNCHER_FAULT=kill-shard:<n>`` makes the worker
+that picks up shard ``n`` exit hard on the shard's first attempt. The CI
+``distributed`` leg uses it to prove a killed worker cannot change a
+single bit of the merged result.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue
+import shutil
+import tempfile
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.cache import AmbientCache
+from repro.engine.execution import execute_point
+from repro.engine.results import SweepResult
+from repro.engine.runner import derive_streams
+from repro.engine.scenario import Scenario
+from repro.engine.store import CACHE_DIR_ENV_VAR, CacheStore
+from repro.errors import ConfigurationError, LauncherError
+from repro.utils.env import env_int
+from repro.utils.rand import RngLike, as_generator
+
+FAULT_ENV_VAR = "REPRO_LAUNCHER_FAULT"
+"""Chaos-injection knob: ``kill-shard:<n>`` hard-kills the worker that
+picks up initial shard ``n``, first attempt only."""
+
+SHARD_POINTS_ENV_VAR = "REPRO_LAUNCHER_SHARD_POINTS"
+"""Environment override for the points-per-shard slice size."""
+
+_FAULT_EXIT_CODE = 87
+"""Exit code of a chaos-killed worker (distinguishable in reports)."""
+
+_POLL_S = 0.02
+"""Parent orchestration tick: result drain timeout per loop iteration."""
+
+_SHUTDOWN_JOIN_S = 5.0
+"""Grace period for workers (possibly mid-duplicate-shard) to exit."""
+
+
+def fault_spec() -> Optional[Tuple[str, int]]:
+    """The parsed ``REPRO_LAUNCHER_FAULT`` directive (``None`` when unset).
+
+    Strict like every ``REPRO_*`` knob: anything but the documented
+    ``kill-shard:<shard>`` form raises
+    :class:`~repro.errors.ConfigurationError` naming the variable.
+    """
+    raw = os.environ.get(FAULT_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    kind, sep, arg = raw.partition(":")
+    if kind == "kill-shard" and sep and arg.isdigit():
+        return (kind, int(arg))
+    raise ConfigurationError(
+        f"{FAULT_ENV_VAR} must look like 'kill-shard:<shard index>', got {raw!r}"
+    )
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous half-open range of grid points queued for a worker.
+
+    Attributes:
+        shard_id: stable identity for dispatch bookkeeping; initial
+            shards number ``0..n-1`` in grid order (what the chaos knob
+            targets), re-sliced retries get fresh ids.
+        start: first global point index (inclusive).
+        stop: last global point index (exclusive).
+        attempt: how many times this range has been (re)queued; retried
+            ranges inherit ``attempt + 1``.
+    """
+
+    shard_id: int
+    start: int
+    stop: int
+    attempt: int = 0
+
+    @property
+    def n_points(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass
+class LaunchReport:
+    """What :func:`launch_sweep` returns: the merged result plus telemetry.
+
+    Attributes:
+        result: the whole-grid merged :class:`SweepResult`, bit-identical
+            to a ``backend="serial"`` run at the same seed. Its
+            ``elapsed_s`` sums per-shard compute time (including any
+            duplicated speculative work); ``wall_s`` here is the
+            launcher's actual wall-clock.
+        wall_s: wall-clock duration of the whole launch (derive + warm +
+            fan-out + merge).
+        n_workers: size of the worker pool.
+        n_points: grid size.
+        n_shards: initial shard count (before any re-slicing).
+        retries: total re-queues (worker deaths + measure errors +
+            straggler speculation).
+        failures: worker deaths observed while holding a shard.
+        stragglers: shards that blew their deadline and were speculated.
+        duplicates: completed shard copies discarded because every point
+            they carried was already covered.
+        warm_syntheses: syntheses the *parent's* store warm-up performed
+            before fan-out (the workers' own counters live on
+            ``result.cache_stats``). Zero on a warm shared store — the
+            whole-run "zero syntheses" claim is
+            ``warm_syntheses + result.cache_stats["syntheses"] == 0``.
+        store_dir: the shared spill directory workers attached to, or
+            ``None`` when it was a run-scoped scratch (already removed)
+            or ambient caching was off.
+    """
+
+    result: SweepResult
+    wall_s: float
+    n_workers: int
+    n_points: int
+    n_shards: int
+    retries: int = 0
+    failures: int = 0
+    stragglers: int = 0
+    duplicates: int = 0
+    warm_syntheses: int = 0
+    store_dir: Optional[str] = None
+
+
+def default_shard_points(n_points: int, n_workers: int) -> int:
+    """Points per shard when the caller expresses no preference.
+
+    Strictly parsed ``REPRO_LAUNCHER_SHARD_POINTS`` wins; otherwise aim
+    for ~4 shards per worker, so stragglers and retries cost a fraction
+    of the grid rather than half of it, without drowning small grids in
+    per-shard dispatch overhead.
+    """
+    configured = env_int(SHARD_POINTS_ENV_VAR, 0, minimum=1)
+    if configured:
+        return configured
+    return max(1, -(-n_points // (4 * n_workers)))
+
+
+def _initial_shards(n_points: int, shard_points: int) -> List[Shard]:
+    return [
+        Shard(shard_id=i, start=start, stop=min(start + shard_points, n_points))
+        for i, start in enumerate(range(0, n_points, shard_points))
+    ]
+
+
+def _worker_main(
+    worker_id: int,
+    scenario_blob: bytes,
+    data: Dict[str, object],
+    seeds: Sequence[int],
+    ambient_master: int,
+    store_dir: Optional[str],
+    task_q,
+    result_q,
+) -> None:
+    """Worker loop: pull shards, execute their points, push values back.
+
+    Each worker owns a private :class:`AmbientCache` attached to the
+    shared store directory, so the first worker to need a composite loads
+    (or synthesizes and spills) it and everyone else reads bytes.
+    Messages out: ``("done", worker_id, shard, values, elapsed, stats)``
+    or ``("error", worker_id, shard, traceback_text)``.
+    """
+    scenario: Scenario = pickle.loads(scenario_blob)
+    cache = None
+    if scenario.cache_ambient:
+        cache = AmbientCache(store=CacheStore(store_dir) if store_dir else None)
+    points = scenario.sweep.points()
+    fault = fault_spec()
+    while True:
+        task = task_q.get()
+        if task is None:
+            return
+        if fault is not None and fault[1] == task.shard_id and task.attempt == 0:
+            # Chaos injection: die the way a crashed/OOM-killed worker
+            # does — no goodbye message, no cleanup.
+            os._exit(_FAULT_EXIT_CODE)
+        started = time.perf_counter()
+        stats_before = cache.stats if cache is not None else None
+        try:
+            values = [
+                execute_point(
+                    scenario, points[i], seeds[i], data, cache, ambient_master
+                )
+                for i in range(task.start, task.stop)
+            ]
+        except Exception:
+            result_q.put(("error", worker_id, task, traceback.format_exc()))
+            continue
+        elapsed = time.perf_counter() - started
+        stats = None
+        if cache is not None and stats_before is not None:
+            after = cache.stats
+            stats = {
+                key: after[key] - stats_before.get(key, 0)
+                for key in after
+                if key != "items"
+            }
+            stats["items"] = after["items"]
+        result_q.put(("done", worker_id, task, values, elapsed, stats))
+
+
+class _Worker:
+    """Parent-side handle: process, private task queue, current assignment."""
+
+    def __init__(self, worker_id: int, ctx, init_args: tuple, result_q) -> None:
+        self.worker_id = worker_id
+        self.task_q = ctx.Queue()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(worker_id, *init_args, self.task_q, result_q),
+            daemon=True,
+        )
+        self.process.start()
+        self.assignment: Optional[Shard] = None
+        self.assigned_at = 0.0
+        self.speculated = False
+
+    def assign(self, shard: Shard) -> None:
+        self.assignment = shard
+        self.assigned_at = time.perf_counter()
+        self.speculated = False
+        self.task_q.put(shard)
+
+
+def _mp_context():
+    """Fork where available (cheap, inherits loaded modules), spawn otherwise."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def launch_sweep(
+    scenario: Scenario,
+    rng: RngLike = None,
+    n_workers: int = 2,
+    shard_points: Optional[int] = None,
+    shard_deadline_s: Optional[float] = None,
+    max_retries: int = 2,
+    cache_dir: Optional[str] = None,
+    progress: Optional[Callable[[dict], None]] = None,
+) -> LaunchReport:
+    """Execute one scenario's grid across worker processes, shard by shard.
+
+    Args:
+        scenario: the declarative sweep; must be in the picklable spec
+            form (validated up front via ``require_picklable``).
+        rng: sweep-level seed or Generator — the same argument a
+            :class:`~repro.engine.runner.SweepRunner` takes, producing
+            the same streams: the merged result is bit-identical to a
+            serial whole-grid run at this seed.
+        n_workers: worker-process pool size.
+        shard_points: points per initial shard; defaults to
+            :func:`default_shard_points` (``REPRO_LAUNCHER_SHARD_POINTS``
+            or ~4 shards per worker).
+        shard_deadline_s: per-shard straggler deadline. A shard still
+            running past it is *speculated*: its uncovered range is
+            re-sliced and re-queued while the original keeps running —
+            first completion per point wins, the loser is discarded.
+            ``None`` disables speculation.
+        max_retries: how many re-queues a failing range survives before
+            the launch aborts with :class:`~repro.errors.LauncherError`
+            (determinism makes further retries pointless — the same
+            seed-derived work failed identically repeatedly).
+        cache_dir: shared spill directory workers attach to; defaults to
+            ``REPRO_CACHE_DIR``, then a run-scoped scratch. Point it (or
+            the env var) at a shared filesystem to span machines.
+        progress: optional callback receiving event dicts
+            (``kind`` in ``dispatch`` / ``shard-done`` / ``requeue`` /
+            ``worker-died``) from the orchestration thread; the async
+            service uses it for live job status.
+    """
+    if n_workers < 1:
+        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    if max_retries < 0:
+        raise ConfigurationError(f"max_retries must be >= 0, got {max_retries}")
+    if shard_deadline_s is not None and shard_deadline_s <= 0:
+        raise ConfigurationError(
+            f"shard_deadline_s must be positive, got {shard_deadline_s}"
+        )
+    fault_spec()  # fail fast on a malformed chaos knob, before any fork
+    blob = scenario.require_picklable()
+
+    wall_start = time.perf_counter()
+    gen = as_generator(rng)
+    data, points, seeds, ambient_master = derive_streams(scenario, gen)
+    n_points = len(points)
+
+    if shard_points is None:
+        shard_points = default_shard_points(n_points, n_workers)
+    elif shard_points < 1:
+        raise ConfigurationError(f"shard_points must be >= 1, got {shard_points}")
+    shards = _initial_shards(n_points, shard_points)
+
+    # The shared spill directory is what lets workers (local processes
+    # today, other machines via a shared filesystem) skip synthesis: the
+    # parent warms it with every composite the grid will request.
+    scratch: Optional[str] = None
+    store_dir: Optional[str] = None
+    warm_syntheses = 0
+    if scenario.cache_ambient:
+        store_dir = cache_dir or os.environ.get(CACHE_DIR_ENV_VAR, "").strip() or None
+        if store_dir is None:
+            scratch = tempfile.mkdtemp(prefix="repro-launcher-spill-")
+            store_dir = scratch
+        from repro.engine.process_backend import warm_store
+
+        store = CacheStore(store_dir)
+        warm_cache = AmbientCache(store=store)
+        warm_store(store, warm_cache, scenario, data, points, ambient_master)
+        warm_syntheses = int(warm_cache.stats.get("syntheses", 0))
+
+    def emit(event: dict) -> None:
+        if progress is not None:
+            progress(dict(event, points_total=n_points))
+
+    ctx = _mp_context()
+    result_q = ctx.Queue()
+    init_args = (blob, data, list(seeds), ambient_master, store_dir)
+    next_worker_id = 0
+    next_shard_id = len(shards)
+    workers: Dict[int, _Worker] = {}
+
+    taken = [False] * n_points
+    n_covered = 0
+    shard_results: List[SweepResult] = []
+    pending: Deque[Shard] = deque(shards)
+    retries = failures = stragglers = duplicates = 0
+
+    def accept(task: Shard, values: List[object], elapsed: float, stats) -> int:
+        """Record a completed shard, keeping only not-yet-covered points."""
+        nonlocal n_covered
+        fresh_points: List[object] = []
+        fresh_values: List[object] = []
+        for offset, index in enumerate(range(task.start, task.stop)):
+            if taken[index]:
+                continue
+            taken[index] = True
+            n_covered += 1
+            fresh_points.append(points[index])
+            fresh_values.append(values[offset])
+        if not fresh_points:
+            return 0
+        shard_results.append(
+            SweepResult(
+                spec=scenario.sweep,
+                points=fresh_points,
+                values=fresh_values,
+                elapsed_s=elapsed,
+                n_workers=1,
+                cache_stats=stats,
+                data=data,
+                backend=f"shard[{task.start}:{task.stop}]",
+                scenario_name=scenario.name,
+            )
+        )
+        return len(fresh_points)
+
+    def reslice(task: Shard) -> List[Shard]:
+        """The uncovered remainder of ``task``, split for re-queueing.
+
+        Contiguous uncovered runs are found (speculative halves may have
+        punched holes in the range) and runs longer than one point split
+        in half, so a retried range spreads across the pool instead of
+        landing back on a single worker.
+        """
+        nonlocal next_shard_id
+        runs: List[Tuple[int, int]] = []
+        cursor = None
+        for index in range(task.start, task.stop):
+            if taken[index]:
+                if cursor is not None:
+                    runs.append((cursor, index))
+                    cursor = None
+            elif cursor is None:
+                cursor = index
+        if cursor is not None:
+            runs.append((cursor, task.stop))
+        halves: List[Tuple[int, int]] = []
+        for start, stop in runs:
+            mid = (start + stop) // 2
+            if mid > start:
+                halves.extend([(start, mid), (mid, stop)])
+            else:
+                halves.append((start, stop))
+        sliced = []
+        for start, stop in halves:
+            sliced.append(
+                Shard(
+                    shard_id=next_shard_id,
+                    start=start,
+                    stop=stop,
+                    attempt=task.attempt + 1,
+                )
+            )
+            next_shard_id += 1
+        return sliced
+
+    def spawn_worker() -> None:
+        nonlocal next_worker_id
+        worker = _Worker(next_worker_id, ctx, init_args, result_q)
+        workers[worker.worker_id] = worker
+        next_worker_id += 1
+
+    def requeue(task: Shard, reason: str) -> None:
+        nonlocal retries
+        if task.attempt >= max_retries:
+            raise LauncherError(
+                f"shard [{task.start}:{task.stop}) of scenario "
+                f"{scenario.name!r} gave up after {task.attempt + 1} attempts "
+                f"({reason}); the engine's determinism means the retried work "
+                "was bit-identical each time — this is a reproducible bug, "
+                "not transient bad luck"
+            )
+        retries += 1
+        pending.extend(reslice(task))
+        emit(
+            {
+                "kind": "requeue",
+                "shard": (task.start, task.stop),
+                "attempt": task.attempt,
+                "reason": reason,
+            }
+        )
+
+    try:
+        for _ in range(min(n_workers, max(1, len(shards)))):
+            spawn_worker()
+
+        while n_covered < n_points:
+            # 1) Drain one result (bounded wait: this is also the tick).
+            try:
+                message = result_q.get(timeout=_POLL_S)
+            except queue.Empty:
+                message = None
+            if message is not None:
+                kind, worker_id, task = message[0], message[1], message[2]
+                worker = workers.get(worker_id)
+                if worker is not None and worker.assignment is not None and (
+                    worker.assignment.shard_id == task.shard_id
+                ):
+                    worker.assignment = None
+                if kind == "done":
+                    _, _, _, values, elapsed, stats = message
+                    fresh = accept(task, values, elapsed, stats)
+                    if fresh == 0:
+                        duplicates += 1
+                    emit(
+                        {
+                            "kind": "shard-done",
+                            "shard": (task.start, task.stop),
+                            "attempt": task.attempt,
+                            "fresh": fresh,
+                            "points_done": n_covered,
+                        }
+                    )
+                else:  # "error": the measure raised inside the worker
+                    tb = message[3]
+                    requeue(task, f"measure raised:\n{tb}")
+
+            # 2) Reap dead workers; their in-flight shard gets re-queued.
+            for worker in [w for w in workers.values() if not w.process.is_alive()]:
+                del workers[worker.worker_id]
+                lost = worker.assignment
+                exit_code = worker.process.exitcode
+                emit({"kind": "worker-died", "worker": worker.worker_id})
+                spawn_worker()
+                if lost is not None:
+                    failures += 1
+                    requeue(lost, f"worker died (exit code {exit_code})")
+
+            # 3) Straggler speculation: past-deadline shards are re-queued
+            #    while the original keeps running; first finish wins.
+            if shard_deadline_s is not None:
+                now = time.perf_counter()
+                for worker in workers.values():
+                    task = worker.assignment
+                    if (
+                        task is not None
+                        and not worker.speculated
+                        and now - worker.assigned_at > shard_deadline_s
+                        and task.attempt < max_retries
+                    ):
+                        worker.speculated = True
+                        stragglers += 1
+                        requeue(task, "straggler past deadline")
+
+            # 4) Dispatch pending work to idle workers, skipping shards
+            #    whose points were meanwhile covered by another copy.
+            for worker in workers.values():
+                if worker.assignment is not None:
+                    continue
+                task = None
+                while pending:
+                    candidate = pending.popleft()
+                    if any(
+                        not taken[i] for i in range(candidate.start, candidate.stop)
+                    ):
+                        task = candidate
+                        break
+                if task is None:
+                    break
+                worker.assign(task)
+                emit(
+                    {
+                        "kind": "dispatch",
+                        "shard": (task.start, task.stop),
+                        "attempt": task.attempt,
+                        "worker": worker.worker_id,
+                    }
+                )
+
+            # 5) Self-heal any lost-task race: nothing queued, nothing
+            #    in flight, yet points uncovered -> requeue the gaps.
+            if (
+                n_covered < n_points
+                and not pending
+                and all(w.assignment is None for w in workers.values())
+            ):
+                probe = Shard(
+                    shard_id=next_shard_id, start=0, stop=n_points, attempt=0
+                )
+                next_shard_id += 1
+                pending.extend(reslice(probe))
+    finally:
+        _shutdown(workers, result_q)
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    merged = SweepResult.merge(*shard_results)
+    merged.backend = f"launcher[shards={len(shards)},workers={n_workers}]"
+    merged.n_workers = n_workers
+    return LaunchReport(
+        result=merged,
+        wall_s=time.perf_counter() - wall_start,
+        n_workers=n_workers,
+        n_points=n_points,
+        n_shards=len(shards),
+        retries=retries,
+        failures=failures,
+        stragglers=stragglers,
+        duplicates=duplicates,
+        warm_syntheses=warm_syntheses,
+        store_dir=None if scratch is not None else store_dir,
+    )
+
+
+def _shutdown(workers: Dict[int, _Worker], result_q) -> None:
+    """Stop the pool: sentinel, bounded join, then terminate holdouts.
+
+    A worker may still be running a duplicate of an already-covered shard
+    (speculation's loser); it gets a grace period to finish, then is
+    terminated — safe, because its result would be discarded anyway and a
+    mid-write kill at worst leaves a temp file the store janitor reaps.
+    """
+    for worker in workers.values():
+        try:
+            worker.task_q.put_nowait(None)
+        except Exception:
+            pass
+    deadline = time.monotonic() + _SHUTDOWN_JOIN_S
+    for worker in workers.values():
+        worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+    for worker in workers.values():
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=1.0)
+    # Drain straggler messages so the queue's feeder thread can exit.
+    while True:
+        try:
+            result_q.get_nowait()
+        except queue.Empty:
+            break
+    for worker in workers.values():
+        worker.task_q.close()
+        worker.task_q.cancel_join_thread()
+    result_q.close()

@@ -16,6 +16,7 @@ unchanged, while fractional powers stay distinct (``P-32.5``).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -31,6 +32,10 @@ def format_axis_value(value: object) -> str:
     Integral floats drop their decimal point (``-30.0`` -> ``"-30"``,
     matching the legacy ``int(power)`` formatting); fractional values
     keep enough digits to stay distinct (``-32.5`` -> ``"-32.5"``).
+    Non-finite values format as ``"inf"`` / ``"-inf"`` / ``"nan"`` — the
+    ``int(as_float)`` normalization would raise ``OverflowError`` /
+    ``ValueError`` on them, and an axis is allowed to carry e.g. an
+    infinite-distance "off" sentinel.
     """
     if isinstance(value, (bool, str)):
         return str(value)
@@ -38,6 +43,10 @@ def format_axis_value(value: object) -> str:
         return str(int(value))
     if isinstance(value, (float, np.floating)):
         as_float = float(value)
+        if not math.isfinite(as_float):
+            if math.isnan(as_float):
+                return "nan"
+            return "inf" if as_float > 0 else "-inf"
         if as_float == int(as_float):
             return str(int(as_float))
         return repr(as_float)
@@ -123,11 +132,17 @@ class SweepResult:
         The inverse of running with ``point_slice``: each shard carries a
         disjoint subset of one grid's points, and together they must
         cover it completely (the merged result's ``series`` / ``grid`` /
-        ``value_at`` assume a full grid). Values are reordered into
-        row-major grid order regardless of shard order; ``elapsed_s``
-        sums, cache counters sum (``items`` takes the max — shards on a
-        shared store hold overlapping entries), and the ``data`` dict
-        comes from the first shard (every shard ran the same ``prepare``).
+        ``value_at`` assume a full grid). An *empty* shard — the natural
+        remainder of the launcher's work re-slicing — merges as a no-op:
+        it contributes no points and only its (near-zero) metadata.
+        Values are reordered into row-major grid order regardless of
+        shard order; ``elapsed_s`` sums the shards' individual execution
+        times — aggregate compute time, NOT wall-clock; shards run
+        concurrently, and the launcher's ``LaunchReport.wall_s`` carries
+        the wall-clock figure — cache counters sum (``items`` takes the
+        max — shards on a shared store hold overlapping entries), and the
+        ``data`` dict comes from the first shard (every shard ran the
+        same ``prepare``).
         """
         if not results:
             raise ConfigurationError("merge needs at least one SweepResult")

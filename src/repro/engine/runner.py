@@ -105,6 +105,40 @@ def default_backend() -> Optional[str]:
     return env_choice(BACKEND_ENV_VAR, None, BACKEND_CHOICES)
 
 
+def derive_streams(scenario: Scenario, gen) -> Tuple[Dict[str, object], List, List[int], int]:
+    """Run ``prepare`` and pre-derive every point's stream, in grid order.
+
+    The one place that performs the sweep generator's draws, so every
+    consumer agrees on them bit for bit: ``prepare`` consumes first
+    (exactly like the preamble of the legacy loops), then one master
+    integer per grid point is drawn serially in grid order and mixed with
+    the scenario's per-point keys through the pure
+    :func:`~repro.utils.rand.derive_seed`, and finally — drawn last, so
+    enabling the cache never shifts the per-point streams — the run-level
+    ambient master (``0`` when ambient caching is off). Shared by
+    :meth:`SweepRunner.run` and the distributed launcher
+    (:mod:`repro.engine.launcher`), which is what makes a shard executed
+    on any worker, attempt or machine bit-identical to the same points of
+    a whole-grid run.
+
+    Returns:
+        ``(data, points, seeds, ambient_master)`` for the whole grid.
+    """
+    data: Dict[str, object] = {}
+    if scenario.prepare is not None:
+        data = scenario.prepare(gen)
+    points = scenario.sweep.points()
+    masters = [int(gen.integers(0, 2 ** 31)) for _ in points]
+    seeds = [
+        derive_seed(masters[i], *scenario.point_rng_keys(point))
+        for i, point in enumerate(points)
+    ]
+    ambient_master = 0
+    if scenario.cache_ambient:
+        ambient_master = int(gen.integers(0, 2 ** 63))
+    return data, points, seeds, ambient_master
+
+
 class SweepRunner:
     """Executes one :class:`Scenario` over its grid.
 
@@ -171,24 +205,18 @@ class SweepRunner:
                 a shard's per-point streams are bit-identical to the same
                 points of a whole-grid run — shards executed anywhere can
                 be stitched back with :meth:`SweepResult.merge`.
+                ``start == stop`` is a valid *empty* shard (the natural
+                remainder of the launcher's work re-slicing): it executes
+                nothing and merges as a no-op.
         """
         scenario = self.scenario
         gen = as_generator(self.rng)
 
-        data: Dict[str, object] = {}
-        if scenario.prepare is not None:
-            data = scenario.prepare(gen)
-
-        points = scenario.sweep.points()
-        # One base draw per point, serially in grid order — the exact
+        # The whole grid's draws happen here, in grid order — the exact
         # sequence the legacy nested loops consumed through
-        # child_generator, so refactored figures reproduce their old
-        # per-point noise streams bit for bit.
-        masters = [int(gen.integers(0, 2 ** 31)) for _ in points]
-        seeds = [
-            derive_seed(masters[i], *scenario.point_rng_keys(point))
-            for i, point in enumerate(points)
-        ]
+        # child_generator — before any slicing, so a shard's streams are
+        # bit-identical to the same points of a whole-grid run.
+        data, points, seeds, ambient_master = derive_streams(scenario, gen)
         if point_slice is not None:
             try:
                 start, stop = point_slice
@@ -200,22 +228,17 @@ class SweepRunner:
                     f"point_slice must be a (start, stop) pair of ints, "
                     f"got {point_slice!r}"
                 ) from None
-            if not 0 <= start < stop <= len(points):
+            if not 0 <= start <= stop <= len(points):
                 raise ConfigurationError(
                     f"point_slice {point_slice!r} outside the grid's "
-                    f"{len(points)} points (need 0 <= start < stop <= n)"
+                    f"{len(points)} points (need 0 <= start <= stop <= n)"
                 )
             points = points[start:stop]
             seeds = seeds[start:stop]
 
         cache: Optional[AmbientCache] = None
-        ambient_master = 0
         if scenario.cache_ambient:
             cache = self.cache if self.cache is not None else default_cache()
-            # Drawn after the per-point masters so enabling the cache
-            # never shifts this sweep's per-point streams (a later sweep
-            # sharing the generator does see one extra draw).
-            ambient_master = int(gen.integers(0, 2 ** 63))
         stats_before = cache.stats if cache is not None else None
 
         backend_label = self.backend

@@ -1,0 +1,255 @@
+"""Async sweep service: ``submit`` / ``status`` / ``fetch`` over the launcher.
+
+The thin service layer that turns the distributed launcher into a
+multi-user front door: many concurrent submissions — each a compiled
+:class:`~repro.engine.scenario.Scenario` — run through
+:func:`~repro.engine.launcher.launch_sweep` in background threads while
+the caller's event loop stays free. All jobs share one spill directory
+(:attr:`SweepService.cache_dir`), so every submission after the first
+finds the grid's front-end composites already on disk and performs zero
+syntheses; the parent-side warm-up runs in this process, where the LRU
+DSP plan cache is shared across jobs too.
+
+Typical use::
+
+    service = SweepService(n_workers=4)
+    try:
+        job = await service.submit(scenario, rng=2017)
+        while service.status(job).state == "running":
+            await asyncio.sleep(0.5)
+        report = await service.fetch(job)      # the merged LaunchReport
+    finally:
+        await service.close()
+
+Jobs are deliberately *not* cancelled mid-flight by ``close()``: a
+launch owns worker processes, and the clean place to stop them is the
+launcher's own shutdown path, which runs when the launch completes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.engine.launcher import LaunchReport, launch_sweep
+from repro.engine.scenario import Scenario
+from repro.engine.store import CACHE_DIR_ENV_VAR
+from repro.utils.rand import RngLike
+
+JOB_STATES = ("queued", "running", "done", "failed")
+"""Lifecycle of a submitted job, in order."""
+
+
+@dataclass
+class JobStatus:
+    """Point-in-time snapshot of one submitted job.
+
+    Attributes:
+        job_id: the handle ``submit`` returned.
+        scenario: name of the submitted scenario.
+        state: one of :data:`JOB_STATES`.
+        points_total: grid size.
+        points_done: grid points covered so far (live while running).
+        shards_done: completed shard executions accepted so far.
+        shards_running: shards currently dispatched to a worker.
+        retries: re-queues so far (failures + errors + stragglers).
+        wall_s: seconds since the job started running (final once done).
+        error: the failure description when ``state == "failed"``.
+    """
+
+    job_id: str
+    scenario: str
+    state: str
+    points_total: int
+    points_done: int = 0
+    shards_done: int = 0
+    shards_running: int = 0
+    retries: int = 0
+    wall_s: float = 0.0
+    error: Optional[str] = None
+
+
+class _Job:
+    """Mutable job record; counters are fed by the launcher's progress
+    callback from the launch thread (single writer, so plain attributes
+    under the GIL are race-free enough for a status snapshot)."""
+
+    def __init__(self, job_id: str, scenario_name: str, points_total: int) -> None:
+        self.job_id = job_id
+        self.scenario_name = scenario_name
+        self.points_total = points_total
+        self.state = "queued"
+        self.points_done = 0
+        self.shards_done = 0
+        self.retries = 0
+        self.inflight: Set[Tuple[int, int, int]] = set()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.report: Optional[LaunchReport] = None
+        self.error: Optional[BaseException] = None
+        self.done_event = asyncio.Event()
+
+    def on_progress(self, event: dict) -> None:
+        kind = event.get("kind")
+        shard = event.get("shard")
+        attempt = event.get("attempt", 0)
+        if kind == "dispatch":
+            self.inflight.add((*shard, attempt))
+        elif kind == "shard-done":
+            self.inflight.discard((*shard, attempt))
+            self.points_done = event.get("points_done", self.points_done)
+            self.shards_done += 1
+        elif kind == "requeue":
+            self.inflight.discard((*shard, attempt))
+            self.retries += 1
+
+    def snapshot(self) -> JobStatus:
+        now = time.perf_counter()
+        wall = 0.0
+        if self.started_at is not None:
+            wall = (self.finished_at or now) - self.started_at
+        return JobStatus(
+            job_id=self.job_id,
+            scenario=self.scenario_name,
+            state=self.state,
+            points_total=self.points_total,
+            points_done=self.points_done,
+            shards_done=self.shards_done,
+            shards_running=len(self.inflight),
+            retries=self.retries,
+            wall_s=wall,
+            error=None if self.error is None else str(self.error),
+        )
+
+
+class SweepService:
+    """Shared-cache, bounded-concurrency job runner for sweep scenarios.
+
+    Args:
+        n_workers: worker-process pool size *per job*.
+        shard_points: forwarded to :func:`launch_sweep`.
+        shard_deadline_s: forwarded to :func:`launch_sweep`.
+        max_retries: forwarded to :func:`launch_sweep`.
+        cache_dir: the spill directory every job shares; defaults to
+            ``REPRO_CACHE_DIR``, then a service-scoped scratch directory
+            removed by :meth:`close`.
+        max_parallel_jobs: how many submissions launch concurrently;
+            later submissions queue (state ``"queued"``) until a slot
+            frees. Bounds the total worker-process count at
+            ``max_parallel_jobs * n_workers``.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        shard_points: Optional[int] = None,
+        shard_deadline_s: Optional[float] = None,
+        max_retries: int = 2,
+        cache_dir: Optional[str] = None,
+        max_parallel_jobs: int = 2,
+    ) -> None:
+        self.n_workers = n_workers
+        self.shard_points = shard_points
+        self.shard_deadline_s = shard_deadline_s
+        self.max_retries = max_retries
+        self._scratch: Optional[str] = None
+        explicit = cache_dir or os.environ.get(CACHE_DIR_ENV_VAR, "").strip() or None
+        if explicit is None:
+            self._scratch = tempfile.mkdtemp(prefix="repro-sweep-service-")
+        self.cache_dir = explicit or self._scratch
+        self._jobs: Dict[str, _Job] = {}
+        self._tasks: Dict[str, "asyncio.Task[None]"] = {}
+        self._counter = itertools.count(1)
+        self._slots = asyncio.Semaphore(max_parallel_jobs)
+
+    async def submit(self, scenario: Scenario, rng: RngLike = None) -> str:
+        """Accept a sweep for execution; returns its job id immediately.
+
+        Validates picklability up front (the one scenario property the
+        launcher cannot work without), so a closure-laden scenario fails
+        at the front door with a migration hint instead of inside a
+        worker.
+        """
+        scenario.require_picklable()
+        job_id = f"{scenario.name}-{next(self._counter):04d}"
+        job = _Job(job_id, scenario.name, scenario.sweep.n_points)
+        self._jobs[job_id] = job
+        self._tasks[job_id] = asyncio.create_task(
+            self._execute(job, scenario, rng), name=f"sweep-{job_id}"
+        )
+        return job_id
+
+    async def _execute(self, job: _Job, scenario: Scenario, rng: RngLike) -> None:
+        async with self._slots:
+            job.state = "running"
+            job.started_at = time.perf_counter()
+            loop = asyncio.get_running_loop()
+            try:
+                job.report = await loop.run_in_executor(
+                    None,
+                    lambda: launch_sweep(
+                        scenario,
+                        rng=rng,
+                        n_workers=self.n_workers,
+                        shard_points=self.shard_points,
+                        shard_deadline_s=self.shard_deadline_s,
+                        max_retries=self.max_retries,
+                        cache_dir=self.cache_dir,
+                        progress=job.on_progress,
+                    ),
+                )
+                job.state = "done"
+                job.points_done = job.report.n_points
+                job.retries = job.report.retries
+            except BaseException as exc:
+                job.state = "failed"
+                job.error = exc
+                if isinstance(exc, asyncio.CancelledError):
+                    raise
+            finally:
+                job.finished_at = time.perf_counter()
+                job.inflight.clear()
+                job.done_event.set()
+
+    def _require(self, job_id: str) -> _Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown job {job_id!r} (have {sorted(self._jobs)})"
+            ) from None
+
+    def status(self, job_id: str) -> JobStatus:
+        """A snapshot of the job's progress — safe to poll while running."""
+        return self._require(job_id).snapshot()
+
+    async def fetch(self, job_id: str) -> LaunchReport:
+        """Wait for the job and return its :class:`LaunchReport`.
+
+        Re-raises the launch's exception when the job failed.
+        """
+        job = self._require(job_id)
+        await job.done_event.wait()
+        if job.error is not None:
+            raise job.error
+        assert job.report is not None
+        return job.report
+
+    async def close(self) -> None:
+        """Drain every job, then remove the service-scoped scratch dir.
+
+        Running launches are allowed to finish (their worker pools shut
+        down through the launcher's own path); only then is the shared
+        spill directory removed — never out from under a live worker.
+        """
+        if self._tasks:
+            await asyncio.gather(*self._tasks.values(), return_exceptions=True)
+        if self._scratch is not None:
+            shutil.rmtree(self._scratch, ignore_errors=True)
+            self._scratch = None

@@ -10,7 +10,12 @@ the same configuration always lands on the same file.
 
 Writes go through a temp file plus :func:`os.replace`, which is atomic on
 POSIX — concurrent workers racing to fill the same key at worst duplicate
-the synthesis, never corrupt the file.
+the synthesis, never corrupt the file. A writer that crashes (or is
+killed by the launcher) before its rename leaves a ``*.tmp.npz`` orphan
+behind; opening a store sweeps temps older than
+:data:`STALE_TEMP_AGE_S`, while *young* temps — possibly a live write of
+a concurrent worker on the shared directory — are left alone by both the
+janitor and :meth:`CacheStore.clear`.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import os
 import tempfile
+import time
 import zipfile
 from pathlib import Path
 from typing import Optional
@@ -26,6 +32,21 @@ import numpy as np
 
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 """Environment variable enabling disk spill for the default ambient cache."""
+
+STALE_TEMP_AGE_S = 3600.0
+"""Age beyond which an orphaned ``*.tmp.npz`` is presumed dead.
+
+A live writer holds its temp file only for the duration of one
+``np.savez`` (seconds at most); an hour-old temp means its writer
+crashed before the atomic rename. Generous on purpose: reaping a live
+temp would make that writer's ``os.replace`` fail, so the janitor errs
+far to the safe side — a leaked orphan costs only disk until the next
+store open."""
+
+
+def _is_temp(path: Path) -> bool:
+    """Whether ``path`` is an in-flight (or orphaned) write, not an entry."""
+    return ".tmp." in path.name
 
 
 def stable_key_digest(key: tuple) -> str:
@@ -43,11 +64,42 @@ class CacheStore:
 
     Args:
         directory: spill directory; created on first use.
+        stale_temp_age_s: age (seconds) beyond which an orphaned temp
+            file from a crashed writer is reaped on open; defaults to
+            :data:`STALE_TEMP_AGE_S`.
     """
 
-    def __init__(self, directory) -> None:
+    def __init__(self, directory, stale_temp_age_s: float = STALE_TEMP_AGE_S) -> None:
         self.directory = Path(directory)
+        self.stale_temp_age_s = float(stale_temp_age_s)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.sweep_stale_temps()
+
+    def sweep_stale_temps(self, max_age_s: Optional[float] = None) -> int:
+        """Reap ``*.tmp.npz`` orphans older than ``max_age_s``.
+
+        Crashed writers (power loss, a worker killed mid-shard) leave
+        their temp files behind forever otherwise — ``save`` names each
+        temp uniquely via ``mkstemp``, so nothing ever overwrites or
+        removes them in the normal path. Runs on every store open; young
+        temps are left untouched because they may be live writes of a
+        concurrent worker sharing the directory. Returns the number of
+        files removed.
+        """
+        cutoff = time.time() - (
+            self.stale_temp_age_s if max_age_s is None else float(max_age_s)
+        )
+        removed = 0
+        for path in self.directory.glob("*.tmp.npz"):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                # Renamed away or reaped by a concurrent janitor — either
+                # way it is no longer an orphan.
+                pass
+        return removed
 
     def path_for(self, key: tuple) -> Path:
         """The file that does (or would) hold ``key``'s array."""
@@ -93,11 +145,19 @@ class CacheStore:
         return path
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.npz") if ".tmp." not in _.name)
+        return sum(1 for path in self.directory.glob("*.npz") if not _is_temp(path))
 
     def clear(self) -> None:
-        """Delete every spilled entry (used by tests and benchmarks)."""
+        """Delete every spilled *entry* (used by tests and benchmarks).
+
+        Consistent with ``__len__``: temp files are not entries and are
+        not touched — unlinking a concurrent writer's live temp would
+        make its atomic rename fail with ``FileNotFoundError``. Orphaned
+        temps are the janitor's job (:meth:`sweep_stale_temps`).
+        """
         for path in self.directory.glob("*.npz"):
+            if _is_temp(path):
+                continue
             try:
                 path.unlink()
             except OSError:

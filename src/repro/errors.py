@@ -42,3 +42,14 @@ class SynchronizationError(DemodulationError):
 
 class LinkBudgetError(ReproError):
     """A link-budget computation received physically meaningless inputs."""
+
+
+class LauncherError(ReproError):
+    """The distributed sweep launcher could not complete a shard.
+
+    Raised when a shard keeps failing (worker crash or an exception in the
+    measure) past the launcher's retry budget. The engine's seed
+    discipline makes a retried shard bit-identical to the original, so a
+    shard that fails identically on every attempt is a deterministic bug,
+    not transient bad luck — retrying further would loop forever.
+    """

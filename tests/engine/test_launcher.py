@@ -1,0 +1,246 @@
+"""Distributed launcher: fan-out, crash retry, stragglers, bit-identity.
+
+The acceptance bar for the launcher is the determinism contract under
+chaos: a worker killed mid-shard (the ``REPRO_LAUNCHER_FAULT`` knob), a
+straggler past its deadline, or a duplicated speculative completion must
+not change a single bit of the merged result relative to a
+``backend="serial"`` run at the same seed — every point's stream is
+pre-derived, so retried shards recompute identical bytes.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.fdm import FdmFskModem
+from repro.engine import Scenario, SweepRunner, SweepSpec, launch_sweep
+from repro.engine.launcher import (
+    FAULT_ENV_VAR,
+    SHARD_POINTS_ENV_VAR,
+    Shard,
+    default_shard_points,
+    fault_spec,
+)
+from repro.errors import ConfigurationError, LauncherError
+from repro.experiments import fig09_mrc as fig09
+from repro.utils.env import fast_numerics
+
+exact_numerics_only = pytest.mark.skipif(
+    fast_numerics(),
+    reason="cross-backend bit-identity is an exact-numerics contract; the "
+    "launcher-vs-serial tests below compare like against like and stay on",
+)
+
+SEED = 2017
+
+
+def _draw(run):
+    """Module-level measure (picklable) exposing the point's stream."""
+    return (run.point["a"], run.point["b"], float(run.rng.random()))
+
+
+def _slow_draw(run, slow_a, sleep_s):
+    """Like ``_draw`` but one grid row stalls — a synthetic straggler."""
+    if run.point["a"] == slow_a:
+        time.sleep(sleep_s)
+    return (run.point["a"], run.point["b"], float(run.rng.random()))
+
+
+def _explode(run, bad_a):
+    """Deterministic per-point failure: retries re-fail identically."""
+    if run.point["a"] == bad_a:
+        raise ValueError(f"measure refuses a={bad_a}")
+    return run.point["a"]
+
+
+def rng_scenario(measure=_draw, **measure_params) -> Scenario:
+    return Scenario(
+        name="launch",
+        sweep=SweepSpec.grid(a=(1, 2, 3), b=(10.0, 20.0)),
+        measure=measure,
+        measure_params=measure_params,
+        cache_ambient=False,
+    )
+
+
+def fig09_scenario() -> Scenario:
+    return fig09.build_scenario(
+        FdmFskModem(symbol_rate=200),
+        distances_ft=(2, 4),
+        max_factor=2,
+        n_bits=40,
+    )
+
+
+class TestLaunchMatchesSerial:
+    def test_rng_grid_bit_identical_to_serial(self):
+        serial = SweepRunner(rng_scenario(), rng=SEED, backend="serial").run()
+        report = launch_sweep(rng_scenario(), rng=SEED, n_workers=2, shard_points=2)
+        assert report.result.values == serial.values
+        assert [p.index for p in report.result.points] == list(range(6))
+        assert report.n_points == 6
+        assert report.n_shards == 3
+        assert report.failures == 0
+        assert report.result.backend.startswith("launcher[")
+
+    def test_single_worker_single_shard(self):
+        serial = SweepRunner(rng_scenario(), rng=SEED, backend="serial").run()
+        report = launch_sweep(rng_scenario(), rng=SEED, n_workers=1, shard_points=6)
+        assert report.result.values == serial.values
+        assert report.n_shards == 1
+
+    def test_fig09_grid_bit_identical_to_serial(self):
+        serial = SweepRunner(fig09_scenario(), rng=SEED, backend="serial").run()
+        report = launch_sweep(fig09_scenario(), rng=SEED, n_workers=2, shard_points=1)
+        assert len(report.result.values) == len(serial.values)
+        for ours, reference in zip(report.result.values, serial.values):
+            assert np.array_equal(ours, reference)
+        # The parent pre-derived + re-ran prepare, so merged data matches.
+        assert np.array_equal(report.result.data["bits"], serial.data["bits"])
+
+    def test_progress_events_cover_the_grid(self):
+        events = []
+        launch_sweep(
+            rng_scenario(), rng=SEED, n_workers=2, shard_points=2,
+            progress=events.append,
+        )
+        kinds = {event["kind"] for event in events}
+        assert "dispatch" in kinds and "shard-done" in kinds
+        done = [e for e in events if e["kind"] == "shard-done"]
+        assert max(e["points_done"] for e in done) == 6
+        assert all(e["points_total"] == 6 for e in events)
+
+
+class TestInjectedFailure:
+    """The CI ``distributed`` leg in miniature: kill a worker mid-grid."""
+
+    def test_killed_worker_does_not_change_a_bit(self, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV_VAR, "kill-shard:1")
+        serial = SweepRunner(fig09_scenario(), rng=SEED, backend="serial").run()
+        report = launch_sweep(fig09_scenario(), rng=SEED, n_workers=2, shard_points=1)
+        assert report.failures >= 1
+        assert report.retries >= 1
+        for ours, reference in zip(report.result.values, serial.values):
+            assert np.array_equal(ours, reference)
+
+    def test_killed_worker_on_rng_grid(self, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV_VAR, "kill-shard:0")
+        serial = SweepRunner(rng_scenario(), rng=SEED, backend="serial").run()
+        report = launch_sweep(rng_scenario(), rng=SEED, n_workers=2, shard_points=3)
+        assert report.failures >= 1
+        assert report.result.values == serial.values
+
+    def test_malformed_fault_knob_fails_fast(self, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV_VAR, "drop-table")
+        with pytest.raises(ConfigurationError, match=FAULT_ENV_VAR):
+            launch_sweep(rng_scenario(), rng=SEED)
+
+    def test_fault_spec_parses_and_rejects(self, monkeypatch):
+        monkeypatch.delenv(FAULT_ENV_VAR, raising=False)
+        assert fault_spec() is None
+        monkeypatch.setenv(FAULT_ENV_VAR, "kill-shard:3")
+        assert fault_spec() == ("kill-shard", 3)
+        monkeypatch.setenv(FAULT_ENV_VAR, "kill-shard:")
+        with pytest.raises(ConfigurationError):
+            fault_spec()
+
+
+class TestStragglers:
+    def test_speculation_rescues_a_stalled_shard(self):
+        # Row a=1 sleeps well past the deadline; speculation re-queues it
+        # while the original keeps running. Whichever copy lands first
+        # wins — both computed the same pre-derived stream.
+        scenario = rng_scenario(measure=_slow_draw, slow_a=1, sleep_s=0.4)
+        serial = SweepRunner(
+            rng_scenario(measure=_slow_draw, slow_a=1, sleep_s=0.0),
+            rng=SEED,
+            backend="serial",
+        ).run()
+        report = launch_sweep(
+            scenario, rng=SEED, n_workers=2, shard_points=2, shard_deadline_s=0.05
+        )
+        assert report.stragglers >= 1
+        assert report.result.values == serial.values
+
+
+class TestFailureModes:
+    def test_deterministic_measure_error_exhausts_retries(self):
+        scenario = rng_scenario(measure=_explode, bad_a=2)
+        with pytest.raises(LauncherError, match="gave up after"):
+            launch_sweep(scenario, rng=SEED, n_workers=2, max_retries=1)
+
+    def test_unpicklable_scenario_rejected_up_front(self):
+        closure = Scenario(
+            name="closure",
+            sweep=SweepSpec.grid(a=(1, 2)),
+            measure=lambda run: run.point["a"],
+            cache_ambient=False,
+        )
+        with pytest.raises(ConfigurationError, match="shipped"):
+            launch_sweep(closure, rng=SEED)
+
+    def test_bad_parameters_rejected(self):
+        for kwargs in (
+            dict(n_workers=0),
+            dict(max_retries=-1),
+            dict(shard_deadline_s=0.0),
+            dict(shard_points=0),
+        ):
+            with pytest.raises(ConfigurationError):
+                launch_sweep(rng_scenario(), rng=SEED, **kwargs)
+
+
+class TestSharding:
+    def test_default_shard_points_targets_four_per_worker(self, monkeypatch):
+        monkeypatch.delenv(SHARD_POINTS_ENV_VAR, raising=False)
+        assert default_shard_points(n_points=64, n_workers=2) == 8
+        assert default_shard_points(n_points=3, n_workers=8) == 1
+
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv(SHARD_POINTS_ENV_VAR, "5")
+        assert default_shard_points(n_points=64, n_workers=2) == 5
+        monkeypatch.setenv(SHARD_POINTS_ENV_VAR, "0")
+        with pytest.raises(ConfigurationError):
+            default_shard_points(n_points=64, n_workers=2)
+
+    def test_shard_geometry(self):
+        shard = Shard(shard_id=0, start=2, stop=5)
+        assert shard.n_points == 3
+        assert shard.attempt == 0
+
+
+class TestSharedStore:
+    def test_warm_rerun_performs_zero_syntheses(self, tmp_path):
+        cold = launch_sweep(
+            fig09_scenario(), rng=SEED, n_workers=2, shard_points=1,
+            cache_dir=str(tmp_path),
+        )
+        assert cold.warm_syntheses > 0
+        assert cold.store_dir == str(tmp_path)
+
+        warm = launch_sweep(
+            fig09_scenario(), rng=SEED, n_workers=2, shard_points=1,
+            cache_dir=str(tmp_path),
+        )
+        assert warm.warm_syntheses == 0
+        assert warm.result.cache_stats["syntheses"] == 0
+        assert warm.result.cache_stats["disk_hits"] > 0
+        for ours, reference in zip(warm.result.values, cold.result.values):
+            assert np.array_equal(ours, reference)
+
+
+class TestDistributedDriver:
+    @exact_numerics_only
+    def test_driver_matches_fig09_run(self):
+        kwargs = dict(
+            distances_ft=(2, 4), mrc_factors=(1, 2), n_bits=40, rng=SEED
+        )
+        from repro.experiments import distributed
+
+        reference = fig09.run(**kwargs)
+        ours = distributed.run(n_workers=2, **kwargs)
+        telemetry = ours.pop("launcher")
+        assert ours == reference
+        assert telemetry["n_workers"] == 2
+        assert telemetry["wall_s"] > 0

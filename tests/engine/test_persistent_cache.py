@@ -1,6 +1,7 @@
 """Tests for the persistent (disk-spilled) ambient cache."""
 
 import os
+import time
 
 import numpy as np
 import pytest
@@ -58,6 +59,58 @@ class TestCacheStore:
         store.save(("k",), np.zeros(2))
         store.clear()
         assert len(store) == 0
+
+
+class TestStaleTempJanitor:
+    """Crashed writers leave ``*.tmp.npz`` orphans; opening a store reaps
+    old ones while leaving a concurrent writer's live temp alone."""
+
+    @staticmethod
+    def _plant_temp(tmp_path, name, age_s):
+        path = tmp_path / name
+        path.write_bytes(b"partial write")
+        old = time.time() - age_s
+        os.utime(path, (old, old))
+        return path
+
+    def test_open_reaps_old_orphans(self, tmp_path):
+        orphan = self._plant_temp(tmp_path, "abc123.tmp.npz", age_s=7200)
+        CacheStore(tmp_path)
+        assert not orphan.exists()
+
+    def test_open_spares_young_temps(self, tmp_path):
+        live = self._plant_temp(tmp_path, "def456.tmp.npz", age_s=1)
+        CacheStore(tmp_path)
+        assert live.exists()
+
+    def test_sweep_returns_the_reap_count(self, tmp_path):
+        store = CacheStore(tmp_path)
+        self._plant_temp(tmp_path, "a.tmp.npz", age_s=7200)
+        self._plant_temp(tmp_path, "b.tmp.npz", age_s=7200)
+        self._plant_temp(tmp_path, "c.tmp.npz", age_s=1)
+        assert store.sweep_stale_temps() == 2
+        assert store.sweep_stale_temps(max_age_s=0) == 1
+
+    def test_temps_are_not_entries(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.save(("k",), np.zeros(2))
+        self._plant_temp(tmp_path, "live.tmp.npz", age_s=1)
+        assert len(store) == 1
+
+    def test_clear_spares_live_temps(self, tmp_path):
+        # Unlinking a concurrent writer's temp would break its atomic
+        # os.replace; clear() must only delete finished entries.
+        store = CacheStore(tmp_path)
+        store.save(("k",), np.zeros(2))
+        live = self._plant_temp(tmp_path, "live.tmp.npz", age_s=1)
+        store.clear()
+        assert len(store) == 0
+        assert live.exists()
+
+    def test_custom_age_threshold(self, tmp_path):
+        orphan = self._plant_temp(tmp_path, "x.tmp.npz", age_s=120)
+        CacheStore(tmp_path, stale_temp_age_s=60.0)
+        assert not orphan.exists()
 
 
 class TestAmbientCacheSpill:

@@ -30,6 +30,19 @@ class TestFormatAxisValue:
         assert format_axis_value("rock") == "rock"
         assert format_axis_value(True) == "True"
 
+    def test_non_finite_floats_format_instead_of_crashing(self):
+        # int(float("inf")) raises OverflowError and int(float("nan"))
+        # raises ValueError; an unbounded axis value (e.g. an infinite
+        # distance sentinel) must format, not crash the results table.
+        assert format_axis_value(float("inf")) == "inf"
+        assert format_axis_value(float("-inf")) == "-inf"
+        assert format_axis_value(float("nan")) == "nan"
+
+    def test_non_finite_numpy_scalars(self):
+        assert format_axis_value(np.float64("inf")) == "inf"
+        assert format_axis_value(np.float64("-inf")) == "-inf"
+        assert format_axis_value(np.float64("nan")) == "nan"
+
 
 class TestPowerKey:
     def test_matches_legacy_keys_for_integral_powers(self):
@@ -42,6 +55,10 @@ class TestPowerKey:
 
     def test_prefix(self):
         assert power_key(-40.0, prefix="snr_P") == "snr_P-40"
+
+    def test_non_finite_powers(self):
+        assert power_key(float("-inf")) == "P-inf"
+        assert power_key(float("nan")) == "Pnan"
 
 
 def _result():

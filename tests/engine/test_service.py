@@ -1,0 +1,171 @@
+"""Async sweep service: submit / status / fetch over the launcher.
+
+Plain ``asyncio.run`` drivers (no async test plugin): each test spins an
+event loop, runs the coroutine, and asserts on what came back. The
+service-level contract under test is sharing — sequential submissions on
+one :class:`SweepService` hit the same warm spill directory, so every
+job after the first performs zero syntheses.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.data.fdm import FdmFskModem
+from repro.engine import Scenario, SweepRunner, SweepSpec, SweepService
+from repro.engine.service import JOB_STATES
+from repro.errors import ConfigurationError
+from repro.experiments import fig09_mrc as fig09
+
+SEED = 2017
+
+
+def _draw(run):
+    return (run.point["a"], run.point["b"], float(run.rng.random()))
+
+
+def _explode(run):
+    raise ValueError("measure always fails")
+
+
+def rng_scenario(measure=_draw) -> Scenario:
+    return Scenario(
+        name="svc",
+        sweep=SweepSpec.grid(a=(1, 2, 3), b=(10.0, 20.0)),
+        measure=measure,
+        cache_ambient=False,
+    )
+
+
+def fig09_scenario() -> Scenario:
+    return fig09.build_scenario(
+        FdmFskModem(symbol_rate=200),
+        distances_ft=(2, 4),
+        max_factor=2,
+        n_bits=40,
+    )
+
+
+class TestSubmitStatusFetch:
+    def test_round_trip_matches_serial(self):
+        serial = SweepRunner(rng_scenario(), rng=SEED, backend="serial").run()
+
+        async def drive():
+            service = SweepService(n_workers=2, shard_points=2)
+            try:
+                job_id = await service.submit(rng_scenario(), rng=SEED)
+                report = await service.fetch(job_id)
+                return job_id, service.status(job_id), report
+            finally:
+                await service.close()
+
+        job_id, status, report = asyncio.run(drive())
+        assert job_id.startswith("svc-")
+        assert status.state == "done"
+        assert status.state in JOB_STATES
+        assert status.points_done == status.points_total == 6
+        assert status.shards_done >= 1
+        assert status.shards_running == 0
+        assert status.wall_s > 0
+        assert report.result.values == serial.values
+
+    def test_sequential_jobs_share_the_warm_store(self):
+        async def drive():
+            service = SweepService(n_workers=2, shard_points=1)
+            try:
+                first = await service.fetch(
+                    await service.submit(fig09_scenario(), rng=SEED)
+                )
+                second = await service.fetch(
+                    await service.submit(fig09_scenario(), rng=SEED)
+                )
+                return first, second
+            finally:
+                await service.close()
+
+        first, second = asyncio.run(drive())
+        assert first.warm_syntheses > 0
+        assert second.warm_syntheses == 0
+        assert second.result.cache_stats["syntheses"] == 0
+        for ours, reference in zip(second.result.values, first.result.values):
+            assert np.array_equal(ours, reference)
+
+    def test_concurrent_jobs_both_complete(self):
+        async def drive():
+            service = SweepService(n_workers=1, shard_points=3, max_parallel_jobs=2)
+            try:
+                jobs = [
+                    await service.submit(rng_scenario(), rng=SEED) for _ in range(2)
+                ]
+                return [await service.fetch(job) for job in jobs]
+            finally:
+                await service.close()
+
+        reports = asyncio.run(drive())
+        assert reports[0].result.values == reports[1].result.values
+
+    def test_job_ids_are_unique_and_named(self):
+        async def drive():
+            service = SweepService(n_workers=1)
+            try:
+                a = await service.submit(rng_scenario(), rng=SEED)
+                b = await service.submit(rng_scenario(), rng=SEED)
+                await service.fetch(a)
+                await service.fetch(b)
+                return a, b
+            finally:
+                await service.close()
+
+        a, b = asyncio.run(drive())
+        assert a != b
+        assert a.startswith("svc-") and b.startswith("svc-")
+
+
+class TestFailures:
+    def test_unknown_job_raises_key_error(self):
+        async def drive():
+            service = SweepService(n_workers=1)
+            try:
+                service.status("nope-0001")
+            finally:
+                await service.close()
+
+        with pytest.raises(KeyError, match="nope-0001"):
+            asyncio.run(drive())
+
+    def test_unpicklable_scenario_rejected_at_the_front_door(self):
+        closure = Scenario(
+            name="closure",
+            sweep=SweepSpec.grid(a=(1, 2)),
+            measure=lambda run: run.point["a"],
+            cache_ambient=False,
+        )
+
+        async def drive():
+            service = SweepService(n_workers=1)
+            try:
+                await service.submit(closure, rng=SEED)
+            finally:
+                await service.close()
+
+        with pytest.raises(ConfigurationError, match="shipped"):
+            asyncio.run(drive())
+
+    def test_failed_job_reports_and_reraises(self):
+        async def drive():
+            service = SweepService(n_workers=1, max_retries=0)
+            try:
+                job_id = await service.submit(rng_scenario(_explode), rng=SEED)
+                try:
+                    await service.fetch(job_id)
+                except Exception as exc:
+                    return service.status(job_id), exc
+                return service.status(job_id), None
+            finally:
+                await service.close()
+
+        status, exc = asyncio.run(drive())
+        assert status.state == "failed"
+        assert "measure always fails" in status.error
+        assert exc is not None and "measure always fails" in str(exc)

@@ -60,11 +60,29 @@ class TestPointSlice:
 
     def test_invalid_slices_rejected(self):
         runner = SweepRunner(rng_scenario(), rng=SEED)
-        for bad in ((2, 2), (-1, 3), (0, 7), (3, 1)):
+        for bad in ((-1, 3), (0, 7), (3, 1)):
             with pytest.raises(ConfigurationError):
                 runner.run(point_slice=bad)
         with pytest.raises(ConfigurationError):
             runner.run(point_slice=(0.0, 2))
+
+    def test_empty_shard_is_valid(self):
+        # A launcher re-slicing a shard can produce a degenerate empty
+        # range; start == stop must execute as a no-op, not crash.
+        empty = SweepRunner(rng_scenario(), rng=SEED).run(point_slice=(2, 2))
+        assert len(empty) == 0
+        assert empty.values == []
+        assert empty.points == []
+
+    def test_empty_shard_merges_as_a_no_op(self):
+        whole = SweepRunner(rng_scenario(), rng=SEED).run()
+        shards = [
+            SweepRunner(rng_scenario(), rng=SEED).run(point_slice=bounds)
+            for bounds in ((0, 3), (3, 3), (3, 6))
+        ]
+        merged = SweepResult.merge(*shards)
+        assert merged.values == whole.values
+        assert [p.index for p in merged.points] == list(range(6))
 
     def test_numpy_integer_bounds_accepted(self):
         import numpy as np
