@@ -68,7 +68,9 @@ call sites.
 """
 
 from repro.engine.cache import AmbientCache, CachedAmbient, default_cache, payload_fingerprint
-from repro.engine.launcher import LaunchReport, Shard, launch_sweep
+from repro.engine.faults import Fault, FaultPlan, active_plan, parse_faults
+from repro.engine.journal import JobJournal, JournaledJob
+from repro.engine.launcher import LaunchReport, RetryPolicy, Shard, launch_sweep
 from repro.engine.service import JobStatus, SweepService
 from repro.engine.deployment import (
     ChannelAssignment,
@@ -121,20 +123,26 @@ __all__ = [
     "ChannelPlan",
     "DeploymentScenario",
     "DeviceSpec",
+    "Fault",
+    "FaultPlan",
     "GridPoint",
+    "JobJournal",
     "JobStatus",
+    "JournaledJob",
     "LaunchReport",
     "PartitionFeatures",
     "PayloadSelector",
     "PlanDecision",
     "PointRun",
     "ReceiverPlacement",
+    "RetryPolicy",
     "Scenario",
     "Shard",
     "SweepResult",
     "SweepRunner",
     "SweepService",
     "SweepSpec",
+    "active_plan",
     "calibrate",
     "default_backend",
     "default_cache",
@@ -143,6 +151,7 @@ __all__ = [
     "launch_sweep",
     "load_calibration",
     "make_roster",
+    "parse_faults",
     "payload_fingerprint",
     "plan_sweep",
     "power_key",

@@ -148,7 +148,25 @@ class AmbientCache:
             if self.store is not None:
                 counters["disk_hits"] = self.disk_hits
                 counters["syntheses"] = self.syntheses
+                counters["corrupt_evictions"] = self.store.corrupt_evictions
             return counters
+
+
+def stats_delta(after: dict, before: dict) -> dict:
+    """Per-run cache counters: ``after - before``, except ``items``.
+
+    ``items`` is a gauge (current in-memory entry count), not a counter,
+    so it passes through as-is. Shared by every executor that brackets a
+    run with two :attr:`AmbientCache.stats` snapshots — the runner, the
+    distributed launcher's workers and its in-process degradation pass —
+    so a new counter (``corrupt_evictions``) shows up everywhere by
+    adding it in one place.
+    """
+    delta = {
+        key: after[key] - before.get(key, 0) for key in after if key != "items"
+    }
+    delta["items"] = after["items"]
+    return delta
 
 
 _DEFAULT_CACHE: Optional[AmbientCache] = None

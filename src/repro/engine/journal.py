@@ -1,0 +1,356 @@
+"""Durable job journal: append-only, crash-safe JSONL per submitted job.
+
+The distributed service kept job state only in memory, so a restart lost
+every submitted job. :class:`JobJournal` makes job state *disseminated
+and resumable*: every state transition — submission, shard dispatch,
+shard completion (with the covered point ranges **and values**),
+retries, degradation, terminal state — is one JSON line appended to
+``<journal_dir>/<job_id>.jsonl`` with an ``os.fsync`` before the call
+returns, so a crash at any instant loses at most the line being written.
+
+Write discipline:
+
+- **append-only** — records are never rewritten; replay folds them in
+  order, so the file is also an audit log of the job.
+- **atomic lines** — each record is serialized to one ``bytes`` payload
+  ending in ``\\n`` and handed to the OS in a single ``write`` on a file
+  opened with ``O_APPEND``, so concurrent writers cannot interleave
+  within a line and a crash tears at most the final line. Replay
+  tolerates exactly that signature: an undecodable *final* line is
+  ignored; an undecodable line anywhere else is real corruption and
+  raises :class:`~repro.errors.JournalError`.
+- **versioned records** — every line carries ``"v"``; replay refuses
+  versions from the future instead of misreading them.
+
+Values ride in the journal as base64-encoded pickles (the measure's
+return type is arbitrary — floats, tuples, numpy arrays), which is what
+lets recovery skip recomputation entirely: a journaled-complete shard's
+points are *reloaded*, not re-executed, and only uncovered ranges are
+re-launched against the still-warm :class:`~repro.engine.store.CacheStore`.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, JournalError
+
+JOURNAL_VERSION = 1
+"""Record schema version stamped on (and required of) every line."""
+
+TERMINAL_STATES = ("done", "failed", "cancelled")
+"""Job states after which a journal replays as finished."""
+
+_ID_SAFE = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def _encode(obj: object) -> str:
+    return base64.b64encode(pickle.dumps(obj)).decode("ascii")
+
+
+def _decode(blob: str) -> object:
+    return pickle.loads(base64.b64decode(blob.encode("ascii")))
+
+
+def indices_to_ranges(indices: Sequence[int]) -> List[Tuple[int, int]]:
+    """Compress sorted point indices into half-open ``(start, stop)`` runs.
+
+    Shard completions usually cover contiguous ranges, but speculation
+    can punch holes (another copy landed part of the range first), so
+    the journal stores runs rather than assuming one.
+    """
+    runs: List[Tuple[int, int]] = []
+    for index in indices:
+        if runs and runs[-1][1] == index:
+            runs[-1] = (runs[-1][0], index + 1)
+        else:
+            runs.append((index, index + 1))
+    return runs
+
+
+def ranges_to_indices(ranges: Iterable[Sequence[int]]) -> List[int]:
+    """The inverse of :func:`indices_to_ranges`."""
+    out: List[int] = []
+    for start, stop in ranges:
+        out.extend(range(start, stop))
+    return out
+
+
+@dataclass
+class JournaledJob:
+    """One job's state as folded from its journal file.
+
+    Attributes:
+        job_id: the journal's job id (file stem).
+        scenario_name: name of the submitted scenario.
+        scenario_blob: the pickled full scenario (prepare included),
+            ready to reload.
+        rng_blob: the pickled sweep seed / Generator the job was
+            submitted with — replaying it reproduces the exact streams,
+            which is what makes resumed work bit-identical.
+        n_points: grid size.
+        values: ``{global point index: value}`` for every journaled-
+            complete point; recovery seeds the relaunch with these so
+            completed shards are never recomputed.
+        retries: journaled re-queues.
+        state: ``"submitted"`` or one of :data:`TERMINAL_STATES`.
+        error: the failure description when ``state == "failed"``.
+        degraded: whether any range was salvaged in-process.
+    """
+
+    job_id: str
+    scenario_name: str = ""
+    scenario_blob: Optional[bytes] = None
+    rng_blob: Optional[bytes] = None
+    n_points: int = 0
+    values: Dict[int, object] = field(default_factory=dict)
+    retries: int = 0
+    state: str = "submitted"
+    error: Optional[str] = None
+    degraded: bool = False
+
+    @property
+    def finished(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def scenario(self):
+        """Unpickle the journaled scenario (the full form, prepare included,
+        so recovery can re-derive the shared data and per-point seeds)."""
+        if self.scenario_blob is None:
+            raise JournalError(
+                f"job {self.job_id!r} has no journaled submit record — "
+                "cannot reconstruct its scenario"
+            )
+        return pickle.loads(self.scenario_blob)
+
+    def rng(self):
+        """Unpickle the journaled sweep seed / Generator."""
+        if self.rng_blob is None:
+            raise JournalError(
+                f"job {self.job_id!r} has no journaled submit record — "
+                "cannot reconstruct its rng"
+            )
+        return pickle.loads(self.rng_blob)
+
+
+class JobJournal:
+    """A directory of per-job append-only JSONL journals.
+
+    Args:
+        directory: journal directory; created on first use. Point it at
+            a persistent path (not a scratch dir) — surviving restarts
+            is the whole point.
+    """
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._tail_repaired: set = set()
+
+    def path_for(self, job_id: str) -> Path:
+        """The journal file that does (or would) hold ``job_id``."""
+        if not _ID_SAFE.sub("", job_id):
+            raise ConfigurationError(f"job id {job_id!r} has no journal-safe characters")
+        return self.directory / f"{_ID_SAFE.sub('_', job_id)}.jsonl"
+
+    def _repair_torn_tail(self, job_id: str) -> None:
+        """Truncate a crash-torn final line before the first new append.
+
+        Every record is one ``write`` of ``line + b"\\n"``, so a torn
+        write is a *prefix* of a line: any bytes after the file's last
+        newline are exactly the garbage a crash left. Appending after
+        them would glue the next record onto the fragment — interior
+        corruption replay rightly refuses — so the fragment is dropped
+        first. Checked once per job per journal instance.
+        """
+        path = self.path_for(job_id)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return
+        keep = raw.rfind(b"\n") + 1  # 0 when the file never saw a newline
+        if keep != len(raw):
+            with open(path, "r+b") as handle:
+                handle.truncate(keep)
+
+    def append(self, job_id: str, record: dict) -> None:
+        """Durably append one record: single write, flushed and fsync'd."""
+        if job_id not in self._tail_repaired:
+            self._repair_torn_tail(job_id)
+            self._tail_repaired.add(job_id)
+        payload = json.dumps(
+            dict(record, v=JOURNAL_VERSION), separators=(",", ":"), sort_keys=True
+        ).encode("utf-8") + b"\n"
+        fd = os.open(
+            self.path_for(job_id), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            os.write(fd, payload)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # -- typed record helpers -------------------------------------------------
+
+    def job_submitted(
+        self,
+        job_id: str,
+        scenario_blob: bytes,
+        rng: object,
+        scenario_name: str,
+        n_points: int,
+    ) -> None:
+        """The job exists: scenario + rng pickled in, so a restarted
+        service can rebuild and resume it from this file alone."""
+        self.append(
+            job_id,
+            {
+                "kind": "submit",
+                "scenario_name": scenario_name,
+                "n_points": int(n_points),
+                "scenario": base64.b64encode(scenario_blob).decode("ascii"),
+                "rng": _encode(rng),
+            },
+        )
+
+    def shard_dispatched(
+        self, job_id: str, start: int, stop: int, attempt: int, worker: int
+    ) -> None:
+        self.append(
+            job_id,
+            {
+                "kind": "dispatch",
+                "range": [int(start), int(stop)],
+                "attempt": int(attempt),
+                "worker": int(worker),
+            },
+        )
+
+    def shard_completed(
+        self,
+        job_id: str,
+        indices: Sequence[int],
+        values: Sequence[object],
+        elapsed_s: float,
+        degraded: bool = False,
+    ) -> None:
+        """A shard's fresh points are durable: ranges + pickled values."""
+        self.append(
+            job_id,
+            {
+                "kind": "shard-done",
+                "ranges": indices_to_ranges(indices),
+                "values": _encode(list(values)),
+                "elapsed_s": float(elapsed_s),
+                "degraded": bool(degraded),
+            },
+        )
+
+    def shard_retried(
+        self, job_id: str, start: int, stop: int, attempt: int, reason: str
+    ) -> None:
+        self.append(
+            job_id,
+            {
+                "kind": "retry",
+                "range": [int(start), int(stop)],
+                "attempt": int(attempt),
+                # First line only: tracebacks belong to logs, not journals.
+                "reason": str(reason).splitlines()[0][:200],
+            },
+        )
+
+    def job_done(self, job_id: str) -> None:
+        self.append(job_id, {"kind": "done"})
+
+    def job_failed(self, job_id: str, error: str) -> None:
+        self.append(job_id, {"kind": "failed", "error": str(error)[:2000]})
+
+    def job_cancelled(self, job_id: str) -> None:
+        self.append(job_id, {"kind": "cancelled"})
+
+    # -- replay ---------------------------------------------------------------
+
+    def job_ids(self) -> List[str]:
+        """Every job with a journal file, sorted (submission-order ids sort)."""
+        return sorted(path.stem for path in self.directory.glob("*.jsonl"))
+
+    def replay(self) -> Dict[str, JournaledJob]:
+        """Fold every journal file into per-job state."""
+        return {job_id: self.replay_job(job_id) for job_id in self.job_ids()}
+
+    def replay_job(self, job_id: str) -> JournaledJob:
+        """Fold one job's records, tolerating only a torn final line."""
+        path = self.path_for(job_id)
+        job = JournaledJob(job_id=job_id)
+        try:
+            raw_lines = path.read_bytes().split(b"\n")
+        except FileNotFoundError:
+            raise JournalError(f"no journal for job {job_id!r} in {self.directory}")
+        # A trailing newline yields one empty tail entry; drop empties at
+        # the end but keep interior blank lines visible as corruption.
+        while raw_lines and not raw_lines[-1].strip():
+            raw_lines.pop()
+        for lineno, raw in enumerate(raw_lines):
+            try:
+                record = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                if lineno == len(raw_lines) - 1:
+                    break  # torn final line: the expected crash signature
+                raise JournalError(
+                    f"journal {path} line {lineno + 1} is corrupt before the "
+                    "final line — this is damage, not a torn append"
+                ) from None
+            self._fold(job, record, path, lineno)
+        return job
+
+    @staticmethod
+    def _fold(job: JournaledJob, record: dict, path: Path, lineno: int) -> None:
+        version = record.get("v")
+        if version != JOURNAL_VERSION:
+            raise JournalError(
+                f"journal {path} line {lineno + 1} has record version "
+                f"{version!r}; this reader understands {JOURNAL_VERSION}"
+            )
+        kind = record.get("kind")
+        if kind == "submit":
+            job.scenario_name = record["scenario_name"]
+            job.n_points = int(record["n_points"])
+            job.scenario_blob = base64.b64decode(record["scenario"])
+            job.rng_blob = base64.b64decode(record["rng"])
+        elif kind == "shard-done":
+            indices = ranges_to_indices(record["ranges"])
+            values = _decode(record["values"])
+            if len(indices) != len(values):
+                raise JournalError(
+                    f"journal {path} line {lineno + 1}: {len(indices)} indices "
+                    f"but {len(values)} values"
+                )
+            # Later records win — harmless, since determinism makes any
+            # duplicate coverage byte-identical.
+            job.values.update(zip(indices, values))
+            if record.get("degraded"):
+                job.degraded = True
+        elif kind == "retry":
+            job.retries += 1
+        elif kind == "done":
+            job.state = "done"
+        elif kind == "failed":
+            job.state = "failed"
+            job.error = record.get("error")
+        elif kind == "cancelled":
+            job.state = "cancelled"
+        elif kind == "dispatch":
+            pass  # bookkeeping for audit; dispatch alone proves nothing
+        else:
+            raise JournalError(
+                f"journal {path} line {lineno + 1} has unknown record kind "
+                f"{kind!r} at version {JOURNAL_VERSION}"
+            )

@@ -10,14 +10,29 @@ job-queue orchestrator that:
 - slices a compiled :class:`~repro.engine.scenario.Scenario` grid into
   shards and dispatches them to a pool of worker processes, one shard
   per worker at a time;
-- detects dead workers (a crash, an OOM kill, the chaos knob below) and
+- detects dead workers (a crash, an OOM kill, an injected fault) and
   stragglers (a shard past its per-shard deadline) and *re-slices* the
-  affected range into halves before re-queueing it, so retried work
-  spreads across the pool;
+  affected range into halves before re-queueing it — after the
+  :class:`RetryPolicy`'s exponential backoff with deterministic jitter —
+  so retried work spreads across the pool without thundering back;
 - discards duplicated completions — determinism makes speculative
   retries free of coordination: two copies of a point compute the same
   bytes, so whichever arrives first wins and the loser is dropped
   unread;
+- **degrades gracefully** instead of discarding work: when a range
+  exhausts its retry budget (or the job blows its
+  :attr:`RetryPolicy.job_deadline_s`), the launcher salvages every
+  completed shard and finishes the lost range *in-process, serially* —
+  the merged grid is still complete and bit-identical, and
+  :attr:`LaunchReport.degraded` says the fan-out lost redundancy.
+  :class:`~repro.errors.LauncherError` (now carrying shard id, point
+  range, attempt count, worker exit codes and the partial merged result)
+  is reserved for the case where even the in-process salvage fails —
+  a deterministic bug in the measure, not an infrastructure fault;
+- optionally journals every shard completion (point ranges + values) to
+  a :class:`~repro.engine.journal.JobJournal`, and *resumes* from one:
+  ``resume_values`` pre-covers journaled-complete points so they are
+  reloaded, never recomputed — only missing ranges are re-launched;
 - merges accepted shard results into one whole-grid
   :class:`~repro.engine.results.SweepResult` (merge-aware cache
   counters; ``elapsed_s`` sums per-shard compute time while
@@ -31,10 +46,12 @@ front end, via :func:`~repro.engine.process_backend.warm_store`);
 workers anywhere then load bytes instead of synthesizing, and a warm
 re-run performs zero syntheses.
 
-Chaos knob: ``REPRO_LAUNCHER_FAULT=kill-shard:<n>`` makes the worker
-that picks up shard ``n`` exit hard on the shard's first attempt. The CI
-``distributed`` leg uses it to prove a killed worker cannot change a
-single bit of the merged result.
+Chaos: ``REPRO_FAULTS`` (:mod:`repro.engine.faults`) injects worker
+kills, forced stragglers, dropped results, torn cache writes and
+worker-init failures, each deterministically targeted so a chaos run
+reproduces exactly. The CI ``chaos`` leg runs the full fault matrix to
+prove no fault class can change a single bit of the merged result.
+``REPRO_LAUNCHER_FAULT=kill-shard:<n>`` survives as a deprecated alias.
 """
 
 from __future__ import annotations
@@ -42,28 +59,29 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
-import queue
 import shutil
 import tempfile
 import time
 import traceback
 from collections import deque
+from multiprocessing import connection as mp_connection
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.engine.cache import AmbientCache
+from repro.engine.cache import AmbientCache, stats_delta
 from repro.engine.execution import execute_point
+from repro.engine.faults import LEGACY_FAULT_ENV_VAR, active_plan, legacy_fault_spec
+from repro.engine.journal import JobJournal
 from repro.engine.results import SweepResult
 from repro.engine.runner import derive_streams
 from repro.engine.scenario import Scenario
 from repro.engine.store import CACHE_DIR_ENV_VAR, CacheStore
 from repro.errors import ConfigurationError, LauncherError
 from repro.utils.env import env_int
-from repro.utils.rand import RngLike, as_generator
+from repro.utils.rand import RngLike, as_generator, derive_seed
 
-FAULT_ENV_VAR = "REPRO_LAUNCHER_FAULT"
-"""Chaos-injection knob: ``kill-shard:<n>`` hard-kills the worker that
-picks up initial shard ``n``, first attempt only."""
+FAULT_ENV_VAR = LEGACY_FAULT_ENV_VAR
+"""Deprecated chaos knob (``kill-shard:<n>`` only) — see ``REPRO_FAULTS``."""
 
 SHARD_POINTS_ENV_VAR = "REPRO_LAUNCHER_SHARD_POINTS"
 """Environment override for the points-per-shard slice size."""
@@ -79,21 +97,87 @@ _SHUTDOWN_JOIN_S = 5.0
 
 
 def fault_spec() -> Optional[Tuple[str, int]]:
-    """The parsed ``REPRO_LAUNCHER_FAULT`` directive (``None`` when unset).
+    """Deprecated: the parsed ``REPRO_LAUNCHER_FAULT`` directive.
 
-    Strict like every ``REPRO_*`` knob: anything but the documented
-    ``kill-shard:<shard>`` form raises
-    :class:`~repro.errors.ConfigurationError` naming the variable.
+    Kept for the pre-registry API surface; new code reads the unified
+    plan via :func:`repro.engine.faults.active_plan`. Strict like every
+    ``REPRO_*`` knob: anything but the documented ``kill-shard:<shard>``
+    form raises :class:`~repro.errors.ConfigurationError` naming the
+    variable.
     """
-    raw = os.environ.get(FAULT_ENV_VAR, "").strip()
-    if not raw:
-        return None
-    kind, sep, arg = raw.partition(":")
-    if kind == "kill-shard" and sep and arg.isdigit():
-        return (kind, int(arg))
-    raise ConfigurationError(
-        f"{FAULT_ENV_VAR} must look like 'kill-shard:<shard index>', got {raw!r}"
-    )
+    return legacy_fault_spec()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard (and how politely) the launcher retries failing ranges.
+
+    Attributes:
+        max_retries: re-queues a failing range survives before the
+            launcher stops fanning it out and salvages it in-process
+            (graceful degradation). ``0`` degrades on the first failure.
+        backoff_base_s: base of the exponential re-queue backoff; a
+            retried range is not re-dispatched before
+            ``backoff_base_s * backoff_factor ** attempt`` seconds.
+            ``0.0`` (the default) re-dispatches immediately — right for
+            deterministic in-process failures, while crash-looping
+            infrastructure wants breathing room.
+        backoff_factor: exponential growth per attempt.
+        backoff_max_s: hard cap on any single backoff delay.
+        jitter_frac: ± fraction of the delay applied as *deterministic*
+            jitter — derived from the range and attempt via
+            :func:`~repro.utils.rand.derive_seed`, not a clock or a
+            random draw, so two ranges failing together de-synchronize
+            their retries yet every chaos run reproduces exactly.
+        job_deadline_s: wall-clock budget for the whole launch; when
+            exceeded, the launcher stops waiting on workers, salvages
+            completed shards and finishes every uncovered point
+            in-process (``LaunchReport.degraded``). ``None`` disables.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 30.0
+    jitter_frac: float = 0.1
+    job_deadline_s: Optional[float] = None
+
+    def validate(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base_s < 0:
+            raise ConfigurationError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise ConfigurationError(
+                f"jitter_frac must be in [0, 1), got {self.jitter_frac}"
+            )
+        if self.job_deadline_s is not None and self.job_deadline_s <= 0:
+            raise ConfigurationError(
+                f"job_deadline_s must be positive, got {self.job_deadline_s}"
+            )
+
+    def backoff_s(self, start: int, stop: int, attempt: int) -> float:
+        """Re-dispatch delay for a range entering ``attempt`` re-queues.
+
+        Pure function of the range and attempt: the jitter comes from
+        :func:`~repro.utils.rand.derive_seed`, so the schedule is
+        reproducible run to run.
+        """
+        if self.backoff_base_s <= 0:
+            return 0.0
+        delay = min(
+            self.backoff_max_s, self.backoff_base_s * self.backoff_factor ** attempt
+        )
+        unit = (derive_seed(attempt, "backoff", start, stop) % 10_000) / 10_000
+        return delay * (1.0 + self.jitter_frac * (2.0 * unit - 1.0))
 
 
 @dataclass(frozen=True)
@@ -102,8 +186,9 @@ class Shard:
 
     Attributes:
         shard_id: stable identity for dispatch bookkeeping; initial
-            shards number ``0..n-1`` in grid order (what the chaos knob
-            targets), re-sliced retries get fresh ids.
+            shards number ``0..n-1`` in grid order (what the fault
+            registry's shard-targeted directives hit), re-sliced retries
+            get fresh ids.
         start: first global point index (inclusive).
         stop: last global point index (exclusive).
         attempt: how many times this range has been (re)queued; retried
@@ -137,7 +222,7 @@ class LaunchReport:
         n_shards: initial shard count (before any re-slicing).
         retries: total re-queues (worker deaths + measure errors +
             straggler speculation).
-        failures: worker deaths observed while holding a shard.
+        failures: worker deaths observed (while holding a shard or not).
         stragglers: shards that blew their deadline and were speculated.
         duplicates: completed shard copies discarded because every point
             they carried was already covered.
@@ -149,6 +234,17 @@ class LaunchReport:
         store_dir: the shared spill directory workers attached to, or
             ``None`` when it was a run-scoped scratch (already removed)
             or ambient caching was off.
+        degraded: whether any range exhausted its retry budget (or the
+            job deadline passed) and was salvaged in-process instead of
+            fanned out. The grid is still complete and bit-identical —
+            degradation trades parallelism, never correctness.
+        degraded_points: points the in-process salvage executed.
+        resumed_points: points reloaded from ``resume_values`` (a job
+            journal) instead of being recomputed.
+        exit_codes: exit code of every worker death, in observation
+            order — provenance for post-mortems and for the
+            :class:`~repro.errors.LauncherError` raised when salvage
+            fails too.
     """
 
     result: SweepResult
@@ -162,6 +258,10 @@ class LaunchReport:
     duplicates: int = 0
     warm_syntheses: int = 0
     store_dir: Optional[str] = None
+    degraded: bool = False
+    degraded_points: int = 0
+    resumed_points: int = 0
+    exit_codes: Tuple[int, ...] = ()
 
 
 def default_shard_points(n_points: int, n_workers: int) -> int:
@@ -193,7 +293,7 @@ def _worker_main(
     ambient_master: int,
     store_dir: Optional[str],
     task_q,
-    result_q,
+    result_conn,
 ) -> None:
     """Worker loop: pull shards, execute their points, push values back.
 
@@ -201,22 +301,42 @@ def _worker_main(
     shared store directory, so the first worker to need a composite loads
     (or synthesizes and spills) it and everyone else reads bytes.
     Messages out: ``("done", worker_id, shard, values, elapsed, stats)``
-    or ``("error", worker_id, shard, traceback_text)``.
+    or ``("error", worker_id, shard, traceback_text)``, sent over this
+    worker's *private* result pipe — never a shared queue. A shared
+    ``multiprocessing.Queue`` serializes writers through one cross-process
+    lock held by a background feeder thread, so a worker hard-killed just
+    after reporting (exactly what ``kill-shard`` injects, and what a real
+    OOM kill does) can die holding it and wedge every surviving worker's
+    reports forever. A private pipe has one writer; a kill can only ever
+    tear this worker's own channel, which the parent reaps. Sends happen
+    synchronously in this thread, so by the time the next task (and any
+    injected kill) is picked up, the previous report is already in the
+    pipe — the parent can still read it after the kill. The active
+    :class:`~repro.engine.faults.FaultPlan` is consulted at every step a
+    real fault could strike: init, task pickup (kill), execution start
+    (delay) and reporting (drop).
     """
+    plan = active_plan()
+    if plan.init_fail(worker_id):
+        # Chaos injection: die before becoming useful — a worker whose
+        # environment (imports, mounts, GPU) was broken at spawn.
+        os._exit(_FAULT_EXIT_CODE)
     scenario: Scenario = pickle.loads(scenario_blob)
     cache = None
     if scenario.cache_ambient:
         cache = AmbientCache(store=CacheStore(store_dir) if store_dir else None)
     points = scenario.sweep.points()
-    fault = fault_spec()
     while True:
         task = task_q.get()
         if task is None:
             return
-        if fault is not None and fault[1] == task.shard_id and task.attempt == 0:
+        if plan.kill(task):
             # Chaos injection: die the way a crashed/OOM-killed worker
             # does — no goodbye message, no cleanup.
             os._exit(_FAULT_EXIT_CODE)
+        delay = plan.delay_s(task)
+        if delay > 0:
+            time.sleep(delay)  # chaos injection: a forced straggler
         started = time.perf_counter()
         stats_before = cache.stats if cache is not None else None
         try:
@@ -227,33 +347,42 @@ def _worker_main(
                 for i in range(task.start, task.stop)
             ]
         except Exception:
-            result_q.put(("error", worker_id, task, traceback.format_exc()))
+            try:
+                result_conn.send(("error", worker_id, task, traceback.format_exc()))
+            except (BrokenPipeError, OSError):
+                return  # parent is gone; nothing left to report to
             continue
         elapsed = time.perf_counter() - started
         stats = None
         if cache is not None and stats_before is not None:
-            after = cache.stats
-            stats = {
-                key: after[key] - stats_before.get(key, 0)
-                for key in after
-                if key != "items"
-            }
-            stats["items"] = after["items"]
-        result_q.put(("done", worker_id, task, values, elapsed, stats))
+            stats = stats_delta(cache.stats, stats_before)
+        if plan.drop_result(task):
+            # Chaos injection: the work happened, the report vanished —
+            # a lost message. Only deadline speculation (or the job
+            # deadline) can recover the range.
+            continue
+        try:
+            result_conn.send(("done", worker_id, task, values, elapsed, stats))
+        except (BrokenPipeError, OSError):
+            return  # parent is gone; nothing left to report to
 
 
 class _Worker:
-    """Parent-side handle: process, private task queue, current assignment."""
+    """Parent-side handle: process, task queue, result pipe, assignment."""
 
-    def __init__(self, worker_id: int, ctx, init_args: tuple, result_q) -> None:
+    def __init__(self, worker_id: int, ctx, init_args: tuple) -> None:
         self.worker_id = worker_id
         self.task_q = ctx.Queue()
+        # One result pipe per worker (see _worker_main: a shared queue's
+        # write lock is a single point of failure under hard kills).
+        self.conn, child_conn = ctx.Pipe(duplex=False)
         self.process = ctx.Process(
             target=_worker_main,
-            args=(worker_id, *init_args, self.task_q, result_q),
+            args=(worker_id, *init_args, self.task_q, child_conn),
             daemon=True,
         )
         self.process.start()
+        child_conn.close()  # the child's end lives in the child now
         self.assignment: Optional[Shard] = None
         self.assigned_at = 0.0
         self.speculated = False
@@ -282,6 +411,10 @@ def launch_sweep(
     max_retries: int = 2,
     cache_dir: Optional[str] = None,
     progress: Optional[Callable[[dict], None]] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    resume_values: Optional[Dict[int, object]] = None,
+    journal: Optional[JobJournal] = None,
+    job_id: Optional[str] = None,
 ) -> LaunchReport:
     """Execute one scenario's grid across worker processes, shard by shard.
 
@@ -301,27 +434,42 @@ def launch_sweep(
             re-sliced and re-queued while the original keeps running —
             first completion per point wins, the loser is discarded.
             ``None`` disables speculation.
-        max_retries: how many re-queues a failing range survives before
-            the launch aborts with :class:`~repro.errors.LauncherError`
-            (determinism makes further retries pointless — the same
-            seed-derived work failed identically repeatedly).
+        max_retries: shorthand for ``RetryPolicy(max_retries=...)``;
+            ignored when ``retry_policy`` is given.
         cache_dir: shared spill directory workers attach to; defaults to
             ``REPRO_CACHE_DIR``, then a run-scoped scratch. Point it (or
             the env var) at a shared filesystem to span machines.
         progress: optional callback receiving event dicts
             (``kind`` in ``dispatch`` / ``shard-done`` / ``requeue`` /
-            ``worker-died``) from the orchestration thread; the async
-            service uses it for live job status.
+            ``worker-died`` / ``degraded``) from the orchestration
+            thread; the async service uses it for live job status.
+        retry_policy: the full :class:`RetryPolicy` (retry budget,
+            exponential backoff with deterministic jitter, per-job
+            deadline); threaded through
+            :class:`~repro.engine.service.SweepService` too.
+        resume_values: ``{global point index: value}`` already computed
+            by a previous (journaled) run of the *same scenario at the
+            same seed*. Those points are reloaded, never re-executed —
+            only uncovered ranges are dispatched. The caller owns the
+            same-seed contract, exactly as for ``SweepResult.merge``.
+        journal: optional :class:`~repro.engine.journal.JobJournal`;
+            shard dispatches, completions (ranges + values), retries and
+            degradations are journaled durably, making the launch
+            resumable after a crash. Terminal job state is the caller's
+            record to write (the service does).
+        job_id: journal key for this launch; required with ``journal``.
     """
     if n_workers < 1:
         raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
-    if max_retries < 0:
-        raise ConfigurationError(f"max_retries must be >= 0, got {max_retries}")
     if shard_deadline_s is not None and shard_deadline_s <= 0:
         raise ConfigurationError(
             f"shard_deadline_s must be positive, got {shard_deadline_s}"
         )
-    fault_spec()  # fail fast on a malformed chaos knob, before any fork
+    policy = retry_policy if retry_policy is not None else RetryPolicy(max_retries=max_retries)
+    policy.validate()
+    if journal is not None and job_id is None:
+        raise ConfigurationError("journal= requires job_id= to key the records")
+    active_plan()  # fail fast on a malformed chaos knob, before any fork
     blob = scenario.require_picklable()
 
     wall_start = time.perf_counter()
@@ -341,6 +489,7 @@ def launch_sweep(
     scratch: Optional[str] = None
     store_dir: Optional[str] = None
     warm_syntheses = 0
+    parent_cache: Optional[AmbientCache] = None
     if scenario.cache_ambient:
         store_dir = cache_dir or os.environ.get(CACHE_DIR_ENV_VAR, "").strip() or None
         if store_dir is None:
@@ -349,16 +498,15 @@ def launch_sweep(
         from repro.engine.process_backend import warm_store
 
         store = CacheStore(store_dir)
-        warm_cache = AmbientCache(store=store)
-        warm_store(store, warm_cache, scenario, data, points, ambient_master)
-        warm_syntheses = int(warm_cache.stats.get("syntheses", 0))
+        parent_cache = AmbientCache(store=store)
+        warm_store(store, parent_cache, scenario, data, points, ambient_master)
+        warm_syntheses = int(parent_cache.stats.get("syntheses", 0))
 
     def emit(event: dict) -> None:
         if progress is not None:
             progress(dict(event, points_total=n_points))
 
     ctx = _mp_context()
-    result_q = ctx.Queue()
     init_args = (blob, data, list(seeds), ambient_master, store_dir)
     next_worker_id = 0
     next_shard_id = len(shards)
@@ -367,27 +515,70 @@ def launch_sweep(
     taken = [False] * n_points
     n_covered = 0
     shard_results: List[SweepResult] = []
-    pending: Deque[Shard] = deque(shards)
+    # Pending work is (ready_at, shard): retries sit out their backoff.
+    pending: Deque[Tuple[float, Shard]] = deque((0.0, s) for s in shards)
     retries = failures = stragglers = duplicates = 0
+    degraded = False
+    degraded_points = 0
+    resumed_points = 0
+    exit_codes: List[int] = []
+
+    def _zero_stats() -> Optional[Dict[str, int]]:
+        """Counter stub for shards that executed nothing (resume reload)."""
+        if not scenario.cache_ambient:
+            return None
+        return {
+            "hits": 0,
+            "misses": 0,
+            "disk_hits": 0,
+            "syntheses": 0,
+            "corrupt_evictions": 0,
+            "items": 0,
+        }
+
+    if resume_values:
+        bad = [i for i in resume_values if not 0 <= int(i) < n_points]
+        if bad:
+            raise ConfigurationError(
+                f"resume_values indices {sorted(bad)[:8]} outside the grid's "
+                f"{n_points} points"
+            )
+        resumed = sorted(int(i) for i in resume_values)
+        for index in resumed:
+            taken[index] = True
+        n_covered = resumed_points = len(resumed)
+        shard_results.append(
+            SweepResult(
+                spec=scenario.sweep,
+                points=[points[i] for i in resumed],
+                values=[resume_values[i] for i in resumed],
+                elapsed_s=0.0,
+                n_workers=1,
+                cache_stats=_zero_stats(),
+                data=data,
+                backend=f"resumed[{len(resumed)}]",
+                scenario_name=scenario.name,
+            )
+        )
 
     def accept(task: Shard, values: List[object], elapsed: float, stats) -> int:
         """Record a completed shard, keeping only not-yet-covered points."""
         nonlocal n_covered
-        fresh_points: List[object] = []
+        fresh_indices: List[int] = []
         fresh_values: List[object] = []
         for offset, index in enumerate(range(task.start, task.stop)):
             if taken[index]:
                 continue
             taken[index] = True
             n_covered += 1
-            fresh_points.append(points[index])
+            fresh_indices.append(index)
             fresh_values.append(values[offset])
-        if not fresh_points:
+        if not fresh_indices:
             return 0
         shard_results.append(
             SweepResult(
                 spec=scenario.sweep,
-                points=fresh_points,
+                points=[points[i] for i in fresh_indices],
                 values=fresh_values,
                 elapsed_s=elapsed,
                 n_workers=1,
@@ -397,7 +588,9 @@ def launch_sweep(
                 scenario_name=scenario.name,
             )
         )
-        return len(fresh_points)
+        if journal is not None:
+            journal.shard_completed(job_id, fresh_indices, fresh_values, elapsed)
+        return len(fresh_indices)
 
     def reslice(task: Shard) -> List[Shard]:
         """The uncovered remainder of ``task``, split for re-queueing.
@@ -441,22 +634,122 @@ def launch_sweep(
 
     def spawn_worker() -> None:
         nonlocal next_worker_id
-        worker = _Worker(next_worker_id, ctx, init_args, result_q)
+        worker = _Worker(next_worker_id, ctx, init_args)
         workers[worker.worker_id] = worker
         next_worker_id += 1
 
+    def degrade(task: Shard, reason: str) -> None:
+        """Last resort: finish ``task``'s uncovered points in-process.
+
+        The fan-out failed this range ``max_retries + 1`` times (or the
+        job deadline passed); rather than throwing away every completed
+        shard via an exception, the parent — whose cache is the warm
+        store itself — executes the remaining points serially. The grid
+        stays complete and bit-identical; only parallelism was lost,
+        reported on ``LaunchReport.degraded``. A failure *here* is a
+        deterministic bug in the measure and raises
+        :class:`~repro.errors.LauncherError` with full provenance plus
+        the partial merged result for salvage.
+        """
+        nonlocal degraded, degraded_points, n_covered
+        degraded = True
+        emit(
+            {
+                "kind": "degraded",
+                "shard": (task.start, task.stop),
+                "attempt": task.attempt,
+                "reason": reason,
+            }
+        )
+        stats_before = parent_cache.stats if parent_cache is not None else None
+        started = time.perf_counter()
+        fresh_indices: List[int] = []
+        fresh_values: List[object] = []
+        for index in range(task.start, task.stop):
+            if taken[index]:
+                continue
+            try:
+                value = execute_point(
+                    scenario,
+                    points[index],
+                    seeds[index],
+                    data,
+                    parent_cache,
+                    ambient_master,
+                )
+            except Exception as exc:
+                partial = (
+                    SweepResult.merge(*shard_results, partial=True)
+                    if shard_results
+                    else None
+                )
+                raise LauncherError(
+                    f"shard [{task.start}:{task.stop}) of scenario "
+                    f"{scenario.name!r} gave up after {task.attempt + 1} "
+                    f"attempts ({reason}) and the in-process salvage failed "
+                    f"at point {index} too; the engine's determinism means "
+                    "the retried work was bit-identical each time — this is "
+                    "a reproducible bug, not transient bad luck",
+                    scenario=scenario.name,
+                    shard_id=task.shard_id,
+                    point_range=(task.start, task.stop),
+                    attempts=task.attempt + 1,
+                    exit_codes=tuple(exit_codes),
+                    partial_result=partial,
+                ) from exc
+            taken[index] = True
+            n_covered += 1
+            degraded_points += 1
+            fresh_indices.append(index)
+            fresh_values.append(value)
+        if not fresh_indices:
+            return
+        elapsed = time.perf_counter() - started
+        stats = None
+        if parent_cache is not None and stats_before is not None:
+            stats = stats_delta(parent_cache.stats, stats_before)
+        shard_results.append(
+            SweepResult(
+                spec=scenario.sweep,
+                points=[points[i] for i in fresh_indices],
+                values=fresh_values,
+                elapsed_s=elapsed,
+                n_workers=1,
+                cache_stats=stats,
+                data=data,
+                backend=f"degraded[{task.start}:{task.stop}]",
+                scenario_name=scenario.name,
+            )
+        )
+        if journal is not None:
+            journal.shard_completed(
+                job_id, fresh_indices, fresh_values, elapsed, degraded=True
+            )
+        emit(
+            {
+                "kind": "shard-done",
+                "shard": (task.start, task.stop),
+                "attempt": task.attempt,
+                "fresh": len(fresh_indices),
+                "points_done": n_covered,
+                "degraded": True,
+            }
+        )
+
     def requeue(task: Shard, reason: str) -> None:
         nonlocal retries
-        if task.attempt >= max_retries:
-            raise LauncherError(
-                f"shard [{task.start}:{task.stop}) of scenario "
-                f"{scenario.name!r} gave up after {task.attempt + 1} attempts "
-                f"({reason}); the engine's determinism means the retried work "
-                "was bit-identical each time — this is a reproducible bug, "
-                "not transient bad luck"
-            )
+        if all(taken[i] for i in range(task.start, task.stop)):
+            return  # a speculative copy already covered the whole range
+        if task.attempt >= policy.max_retries:
+            degrade(task, f"retry budget exhausted: {reason}")
+            return
         retries += 1
-        pending.extend(reslice(task))
+        ready_at = time.perf_counter() + policy.backoff_s(
+            task.start, task.stop, task.attempt
+        )
+        pending.extend((ready_at, piece) for piece in reslice(task))
+        if journal is not None:
+            journal.shard_retried(job_id, task.start, task.stop, task.attempt, reason)
         emit(
             {
                 "kind": "requeue",
@@ -466,50 +759,96 @@ def launch_sweep(
             }
         )
 
+    def pop_ready() -> Optional[Shard]:
+        """Next pending shard that is past its backoff and still needed."""
+        now = time.perf_counter()
+        for _ in range(len(pending)):
+            ready_at, candidate = pending.popleft()
+            if ready_at > now:
+                pending.append((ready_at, candidate))
+                continue
+            if any(not taken[i] for i in range(candidate.start, candidate.stop)):
+                return candidate
+        return None
+
+    def handle_message(message) -> None:
+        """Fold one worker report (done/error) into the launch state."""
+        nonlocal duplicates
+        kind, worker_id, task = message[0], message[1], message[2]
+        worker = workers.get(worker_id)
+        if worker is not None and worker.assignment is not None and (
+            worker.assignment.shard_id == task.shard_id
+        ):
+            worker.assignment = None
+        if kind == "done":
+            _, _, _, values, elapsed, stats = message
+            fresh = accept(task, values, elapsed, stats)
+            if fresh == 0:
+                duplicates += 1
+            emit(
+                {
+                    "kind": "shard-done",
+                    "shard": (task.start, task.stop),
+                    "attempt": task.attempt,
+                    "fresh": fresh,
+                    "points_done": n_covered,
+                }
+            )
+        else:  # "error": the measure raised inside the worker
+            tb = message[3]
+            requeue(task, f"measure raised:\n{tb}")
+
     try:
-        for _ in range(min(n_workers, max(1, len(shards)))):
-            spawn_worker()
+        if n_covered < n_points:  # a full resume forks no workers at all
+            for _ in range(min(n_workers, max(1, len(shards)))):
+                spawn_worker()
 
         while n_covered < n_points:
+            # 0) Job deadline: stop waiting on the pool, salvage in-process.
+            if (
+                policy.job_deadline_s is not None
+                and time.perf_counter() - wall_start > policy.job_deadline_s
+            ):
+                probe = Shard(
+                    shard_id=-1, start=0, stop=n_points, attempt=policy.max_retries
+                )
+                degrade(probe, "job deadline exceeded")
+                break
+
             # 1) Drain one result (bounded wait: this is also the tick).
-            try:
-                message = result_q.get(timeout=_POLL_S)
-            except queue.Empty:
-                message = None
-            if message is not None:
-                kind, worker_id, task = message[0], message[1], message[2]
-                worker = workers.get(worker_id)
-                if worker is not None and worker.assignment is not None and (
-                    worker.assignment.shard_id == task.shard_id
-                ):
-                    worker.assignment = None
-                if kind == "done":
-                    _, _, _, values, elapsed, stats = message
-                    fresh = accept(task, values, elapsed, stats)
-                    if fresh == 0:
-                        duplicates += 1
-                    emit(
-                        {
-                            "kind": "shard-done",
-                            "shard": (task.start, task.stop),
-                            "attempt": task.attempt,
-                            "fresh": fresh,
-                            "points_done": n_covered,
-                        }
-                    )
-                else:  # "error": the measure raised inside the worker
-                    tb = message[3]
-                    requeue(task, f"measure raised:\n{tb}")
+            #    Each worker reports over its own pipe, so the wait spans
+            #    all of them; a dead writer can tear only its own channel.
+            ready = mp_connection.wait(
+                [w.conn for w in workers.values()], timeout=_POLL_S
+            )
+            for conn in ready:
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    continue  # torn by a dead worker; the reap step handles it
+                handle_message(message)
+                break
 
             # 2) Reap dead workers; their in-flight shard gets re-queued.
+            #    A worker may die *after* reporting (the kill-on-pickup
+            #    faults do exactly this), so drain its pipe before judging
+            #    what was lost — those reports are real completed work.
             for worker in [w for w in workers.values() if not w.process.is_alive()]:
+                while worker.conn.poll():
+                    try:
+                        message = worker.conn.recv()
+                    except (EOFError, OSError):
+                        break
+                    handle_message(message)
                 del workers[worker.worker_id]
+                worker.conn.close()
                 lost = worker.assignment
                 exit_code = worker.process.exitcode
+                exit_codes.append(exit_code if exit_code is not None else -1)
+                failures += 1
                 emit({"kind": "worker-died", "worker": worker.worker_id})
                 spawn_worker()
                 if lost is not None:
-                    failures += 1
                     requeue(lost, f"worker died (exit code {exit_code})")
 
             # 3) Straggler speculation: past-deadline shards are re-queued
@@ -522,7 +861,7 @@ def launch_sweep(
                         task is not None
                         and not worker.speculated
                         and now - worker.assigned_at > shard_deadline_s
-                        and task.attempt < max_retries
+                        and task.attempt < policy.max_retries
                     ):
                         worker.speculated = True
                         stragglers += 1
@@ -533,17 +872,14 @@ def launch_sweep(
             for worker in workers.values():
                 if worker.assignment is not None:
                     continue
-                task = None
-                while pending:
-                    candidate = pending.popleft()
-                    if any(
-                        not taken[i] for i in range(candidate.start, candidate.stop)
-                    ):
-                        task = candidate
-                        break
+                task = pop_ready()
                 if task is None:
                     break
                 worker.assign(task)
+                if journal is not None:
+                    journal.shard_dispatched(
+                        job_id, task.start, task.stop, task.attempt, worker.worker_id
+                    )
                 emit(
                     {
                         "kind": "dispatch",
@@ -564,9 +900,9 @@ def launch_sweep(
                     shard_id=next_shard_id, start=0, stop=n_points, attempt=0
                 )
                 next_shard_id += 1
-                pending.extend(reslice(probe))
+                pending.extend((0.0, piece) for piece in reslice(probe))
     finally:
-        _shutdown(workers, result_q)
+        _shutdown(workers)
         if scratch is not None:
             shutil.rmtree(scratch, ignore_errors=True)
 
@@ -585,21 +921,32 @@ def launch_sweep(
         duplicates=duplicates,
         warm_syntheses=warm_syntheses,
         store_dir=None if scratch is not None else store_dir,
+        degraded=degraded,
+        degraded_points=degraded_points,
+        resumed_points=resumed_points,
+        exit_codes=tuple(exit_codes),
     )
 
 
-def _shutdown(workers: Dict[int, _Worker], result_q) -> None:
+def _shutdown(workers: Dict[int, _Worker]) -> None:
     """Stop the pool: sentinel, bounded join, then terminate holdouts.
 
     A worker may still be running a duplicate of an already-covered shard
     (speculation's loser); it gets a grace period to finish, then is
     terminated — safe, because its result would be discarded anyway and a
     mid-write kill at worst leaves a temp file the store janitor reaps.
+    Closing the parent's pipe ends unblocks any worker mid-``send`` into
+    a full pipe buffer (it dies on BrokenPipeError instead of hanging).
     """
     for worker in workers.values():
         try:
             worker.task_q.put_nowait(None)
         except Exception:
+            pass
+    for worker in workers.values():
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already torn
             pass
     deadline = time.monotonic() + _SHUTDOWN_JOIN_S
     for worker in workers.values():
@@ -608,13 +955,6 @@ def _shutdown(workers: Dict[int, _Worker], result_q) -> None:
         if worker.process.is_alive():
             worker.process.terminate()
             worker.process.join(timeout=1.0)
-    # Drain straggler messages so the queue's feeder thread can exit.
-    while True:
-        try:
-            result_q.get_nowait()
-        except queue.Empty:
-            break
     for worker in workers.values():
         worker.task_q.close()
         worker.task_q.cancel_join_thread()
-    result_q.close()

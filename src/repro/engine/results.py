@@ -126,14 +126,20 @@ class SweepResult:
     plan: Optional[List[object]] = None
 
     @classmethod
-    def merge(cls, *results: "SweepResult") -> "SweepResult":
+    def merge(cls, *results: "SweepResult", partial: bool = False) -> "SweepResult":
         """Stitch shard results back into one whole-grid result.
 
         The inverse of running with ``point_slice``: each shard carries a
         disjoint subset of one grid's points, and together they must
         cover it completely (the merged result's ``series`` / ``grid`` /
-        ``value_at`` assume a full grid). An *empty* shard — the natural
-        remainder of the launcher's work re-slicing — merges as a no-op:
+        ``value_at`` assume a full grid) — unless ``partial=True``, which
+        skips the completeness check and returns whatever subset the
+        shards cover, in grid order. The launcher uses partial merges to
+        attach salvageable completed points to a
+        :class:`~repro.errors.LauncherError`; full-grid accessors refuse
+        a partial result, but iteration and ``to_table`` work. An
+        *empty* shard — the natural remainder of the launcher's work
+        re-slicing — merges as a no-op:
         it contributes no points and only its (near-zero) metadata.
         Values are reordered into row-major grid order regardless of
         shard order; ``elapsed_s`` sums the shards' individual execution
@@ -167,13 +173,13 @@ class SweepResult:
                         f"grid point {point.index} appears in more than one shard"
                     )
                 by_index[point.index] = (point, value)
-        if len(by_index) != spec.n_points:
+        if len(by_index) != spec.n_points and not partial:
             missing = sorted(set(range(spec.n_points)) - set(by_index))
             raise ConfigurationError(
                 f"shards cover {len(by_index)} of {spec.n_points} grid "
                 f"points (missing indices {missing[:8]}{'...' if len(missing) > 8 else ''})"
             )
-        ordered = [by_index[i] for i in range(spec.n_points)]
+        ordered = [by_index[i] for i in sorted(by_index)]
 
         cache_stats: Optional[Dict[str, int]] = None
         shard_stats = [r.cache_stats for r in results]

@@ -61,7 +61,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 
-from repro.engine.cache import AmbientCache, default_cache
+from repro.engine.cache import AmbientCache, default_cache, stats_delta
 from repro.engine.execution import execute_point
 from repro.engine.results import SweepResult
 from repro.engine.scenario import Scenario
@@ -295,13 +295,7 @@ class SweepRunner:
 
         cache_stats = None
         if cache is not None and stats_before is not None:
-            after = cache.stats
-            cache_stats = {
-                key: after[key] - stats_before.get(key, 0)
-                for key in after
-                if key != "items"
-            }
-            cache_stats["items"] = after["items"]
+            cache_stats = stats_delta(cache.stats, stats_before)
         return SweepResult(
             spec=scenario.sweep,
             points=points,

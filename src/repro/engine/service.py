@@ -21,9 +21,25 @@ Typical use::
     finally:
         await service.close()
 
+With ``journal_dir`` set, the service is *crash-safe*: every submission
+is journaled (scenario + seed pickled in), every completed shard's point
+ranges and values land durably before the next dispatch, and terminal
+states are recorded. A restarted service calls :meth:`SweepService.
+recover` to reload the journal directory and resume every unfinished
+job — journaled-complete shards are **not** recomputed (their points
+reload bit-identically, and front-end composites come back through the
+still-warm :class:`~repro.engine.store.CacheStore`); only missing ranges
+re-launch::
+
+    service = SweepService(journal_dir="jobs/", cache_dir="spill/")
+    resumed = await service.recover()          # job ids picked back up
+    for job_id in resumed:
+        report = await service.fetch(job_id)
+
 Jobs are deliberately *not* cancelled mid-flight by ``close()``: a
 launch owns worker processes, and the clean place to stop them is the
 launcher's own shutdown path, which runs when the launch completes.
+``close()`` is idempotent — a second call is a no-op.
 """
 
 from __future__ import annotations
@@ -31,19 +47,22 @@ from __future__ import annotations
 import asyncio
 import itertools
 import os
+import pickle
 import shutil
 import tempfile
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.engine.launcher import LaunchReport, launch_sweep
+from repro.engine.journal import JobJournal
+from repro.errors import ConfigurationError
+from repro.engine.launcher import LaunchReport, RetryPolicy, launch_sweep
 from repro.engine.scenario import Scenario
 from repro.engine.store import CACHE_DIR_ENV_VAR
-from repro.utils.rand import RngLike
+from repro.utils.rand import RngLike, as_generator
 
-JOB_STATES = ("queued", "running", "done", "failed")
-"""Lifecycle of a submitted job, in order."""
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+"""Lifecycle of a submitted job, in order (``cancelled`` is terminal too)."""
 
 
 @dataclass
@@ -61,6 +80,10 @@ class JobStatus:
         retries: re-queues so far (failures + errors + stragglers).
         wall_s: seconds since the job started running (final once done).
         error: the failure description when ``state == "failed"``.
+        degraded: whether the launch salvaged any range in-process after
+            exhausting its retry budget (result still complete).
+        resumed_points: points reloaded from the journal instead of
+            recomputed (nonzero only for recovered jobs).
     """
 
     job_id: str
@@ -73,6 +96,8 @@ class JobStatus:
     retries: int = 0
     wall_s: float = 0.0
     error: Optional[str] = None
+    degraded: bool = False
+    resumed_points: int = 0
 
 
 class _Job:
@@ -88,6 +113,8 @@ class _Job:
         self.points_done = 0
         self.shards_done = 0
         self.retries = 0
+        self.degraded = False
+        self.resumed_points = 0
         self.inflight: Set[Tuple[int, int, int]] = set()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -108,6 +135,9 @@ class _Job:
         elif kind == "requeue":
             self.inflight.discard((*shard, attempt))
             self.retries += 1
+        elif kind == "degraded":
+            self.inflight.discard((*shard, attempt))
+            self.degraded = True
 
     def snapshot(self) -> JobStatus:
         now = time.perf_counter()
@@ -125,6 +155,8 @@ class _Job:
             retries=self.retries,
             wall_s=wall,
             error=None if self.error is None else str(self.error),
+            degraded=self.degraded,
+            resumed_points=self.resumed_points,
         )
 
 
@@ -135,7 +167,8 @@ class SweepService:
         n_workers: worker-process pool size *per job*.
         shard_points: forwarded to :func:`launch_sweep`.
         shard_deadline_s: forwarded to :func:`launch_sweep`.
-        max_retries: forwarded to :func:`launch_sweep`.
+        max_retries: shorthand for ``retry_policy``; ignored when
+            ``retry_policy`` is given.
         cache_dir: the spill directory every job shares; defaults to
             ``REPRO_CACHE_DIR``, then a service-scoped scratch directory
             removed by :meth:`close`.
@@ -143,6 +176,13 @@ class SweepService:
             later submissions queue (state ``"queued"``) until a slot
             frees. Bounds the total worker-process count at
             ``max_parallel_jobs * n_workers``.
+        retry_policy: full :class:`~repro.engine.launcher.RetryPolicy`
+            (retry budget, backoff, per-job deadline) threaded into
+            every launch.
+        journal_dir: directory of per-job crash-safe journals; ``None``
+            (the default) keeps the pre-journal in-memory behavior.
+            Point it at a *persistent* path — pair it with a persistent
+            ``cache_dir`` so recovered jobs also find the store warm.
     """
 
     def __init__(
@@ -153,20 +193,44 @@ class SweepService:
         max_retries: int = 2,
         cache_dir: Optional[str] = None,
         max_parallel_jobs: int = 2,
+        retry_policy: Optional[RetryPolicy] = None,
+        journal_dir: Optional[str] = None,
     ) -> None:
         self.n_workers = n_workers
         self.shard_points = shard_points
         self.shard_deadline_s = shard_deadline_s
-        self.max_retries = max_retries
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy(max_retries=max_retries)
+        )
+        self.retry_policy.validate()
         self._scratch: Optional[str] = None
         explicit = cache_dir or os.environ.get(CACHE_DIR_ENV_VAR, "").strip() or None
         if explicit is None:
             self._scratch = tempfile.mkdtemp(prefix="repro-sweep-service-")
         self.cache_dir = explicit or self._scratch
+        self.journal: Optional[JobJournal] = (
+            JobJournal(journal_dir) if journal_dir is not None else None
+        )
         self._jobs: Dict[str, _Job] = {}
         self._tasks: Dict[str, "asyncio.Task[None]"] = {}
         self._counter = itertools.count(1)
         self._slots = asyncio.Semaphore(max_parallel_jobs)
+        self._closed = False
+
+    def _next_job_id(self, scenario_name: str) -> str:
+        """A fresh job id — skipping ids already live *or journaled*.
+
+        A restarted service's counter restarts at 1; without the journal
+        probe it would mint ids that collide with previous-incarnation
+        journal files and interleave two jobs' records in one file.
+        """
+        while True:
+            job_id = f"{scenario_name}-{next(self._counter):04d}"
+            if job_id in self._jobs:
+                continue
+            if self.journal is not None and self.journal.path_for(job_id).exists():
+                continue
+            return job_id
 
     async def submit(self, scenario: Scenario, rng: RngLike = None) -> str:
         """Accept a sweep for execution; returns its job id immediately.
@@ -174,18 +238,79 @@ class SweepService:
         Validates picklability up front (the one scenario property the
         launcher cannot work without), so a closure-laden scenario fails
         at the front door with a migration hint instead of inside a
-        worker.
+        worker. With a journal attached, the submission is durable before
+        this returns: the scenario and the *pristine* rng state are
+        journaled, so a crash one instant later loses nothing.
         """
         scenario.require_picklable()
-        job_id = f"{scenario.name}-{next(self._counter):04d}"
+        job_id = self._next_job_id(scenario.name)
+        # Normalize the seed to a Generator *now* and journal that exact
+        # state: replaying the journal then reproduces the very streams
+        # this launch is about to derive.
+        gen = as_generator(rng)
+        if self.journal is not None:
+            # The journal needs the FULL scenario — prepare included —
+            # because recovery re-derives the shared data and per-point
+            # seeds from it; the shippable (prepare-stripped) form that
+            # satisfies the workers is not enough to resurrect the job.
+            try:
+                blob = pickle.dumps(scenario)
+            except Exception as exc:
+                raise ConfigurationError(
+                    f"scenario {scenario.name!r} cannot be journaled "
+                    f"({exc}): a journaled service must be able to rebuild "
+                    "the job from its journal file alone, so prepare= must "
+                    "be picklable too — bind it with functools.partial to a "
+                    "module-level function instead of a closure"
+                ) from None
+            self.journal.job_submitted(
+                job_id, blob, gen, scenario.name, scenario.sweep.n_points
+            )
         job = _Job(job_id, scenario.name, scenario.sweep.n_points)
         self._jobs[job_id] = job
         self._tasks[job_id] = asyncio.create_task(
-            self._execute(job, scenario, rng), name=f"sweep-{job_id}"
+            self._execute(job, scenario, gen), name=f"sweep-{job_id}"
         )
         return job_id
 
-    async def _execute(self, job: _Job, scenario: Scenario, rng: RngLike) -> None:
+    async def recover(self) -> List[str]:
+        """Reload the journal directory and resume every unfinished job.
+
+        For each journaled job without a terminal record, the scenario
+        and rng are rebuilt from the journal and the launch re-enters the
+        queue with ``resume_values`` pre-covering every journaled-complete
+        point — those are *reloaded, not recomputed*; only missing ranges
+        fan back out. Finished jobs and ids already live in this service
+        are left alone. Returns the resumed job ids (await them via
+        :meth:`fetch`).
+        """
+        if self.journal is None:
+            return []
+        resumed: List[str] = []
+        for job_id, record in self.journal.replay().items():
+            if record.finished or job_id in self._jobs:
+                continue
+            scenario = record.scenario()
+            rng = record.rng()
+            job = _Job(job_id, record.scenario_name, record.n_points)
+            job.points_done = len(record.values)
+            job.resumed_points = len(record.values)
+            job.degraded = record.degraded
+            self._jobs[job_id] = job
+            self._tasks[job_id] = asyncio.create_task(
+                self._execute(job, scenario, rng, resume_values=dict(record.values)),
+                name=f"sweep-{job_id}",
+            )
+            resumed.append(job_id)
+        return resumed
+
+    async def _execute(
+        self,
+        job: _Job,
+        scenario: Scenario,
+        rng: RngLike,
+        resume_values: Optional[Dict[int, object]] = None,
+    ) -> None:
         async with self._slots:
             job.state = "running"
             job.started_at = time.perf_counter()
@@ -199,19 +324,32 @@ class SweepService:
                         n_workers=self.n_workers,
                         shard_points=self.shard_points,
                         shard_deadline_s=self.shard_deadline_s,
-                        max_retries=self.max_retries,
                         cache_dir=self.cache_dir,
                         progress=job.on_progress,
+                        retry_policy=self.retry_policy,
+                        resume_values=resume_values,
+                        journal=self.journal,
+                        job_id=job.job_id if self.journal is not None else None,
                     ),
                 )
                 job.state = "done"
                 job.points_done = job.report.n_points
                 job.retries = job.report.retries
+                job.degraded = job.report.degraded
+                job.resumed_points = job.report.resumed_points
+                if self.journal is not None:
+                    self.journal.job_done(job.job_id)
             except BaseException as exc:
+                if isinstance(exc, asyncio.CancelledError):
+                    job.state = "cancelled"
+                    job.error = exc
+                    if self.journal is not None:
+                        self.journal.job_cancelled(job.job_id)
+                    raise
                 job.state = "failed"
                 job.error = exc
-                if isinstance(exc, asyncio.CancelledError):
-                    raise
+                if self.journal is not None:
+                    self.journal.job_failed(job.job_id, str(exc))
             finally:
                 job.finished_at = time.perf_counter()
                 job.inflight.clear()
@@ -247,7 +385,12 @@ class SweepService:
         Running launches are allowed to finish (their worker pools shut
         down through the launcher's own path); only then is the shared
         spill directory removed — never out from under a live worker.
+        Journal files are *kept*: they are the durable record. Calling
+        ``close`` again is a no-op.
         """
+        if self._closed:
+            return
+        self._closed = True
         if self._tasks:
             await asyncio.gather(*self._tasks.values(), return_exceptions=True)
         if self._scratch is not None:

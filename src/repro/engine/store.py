@@ -67,11 +67,21 @@ class CacheStore:
         stale_temp_age_s: age (seconds) beyond which an orphaned temp
             file from a crashed writer is reaped on open; defaults to
             :data:`STALE_TEMP_AGE_S`.
+
+    Attributes:
+        corrupt_evictions: how many stored entries this instance found
+            unreadable (truncated archive, bad zip, torn write that
+            survived its rename) and reaped. A nonzero count in a chaos
+            run is the ``corrupt-cache`` fault doing its job; a nonzero
+            count in production means a writer lost power after rename —
+            either way the entry was resynthesized, not served.
     """
 
     def __init__(self, directory, stale_temp_age_s: float = STALE_TEMP_AGE_S) -> None:
         self.directory = Path(directory)
         self.stale_temp_age_s = float(stale_temp_age_s)
+        self.corrupt_evictions = 0
+        self._save_ordinal = 0
         self.directory.mkdir(parents=True, exist_ok=True)
         self.sweep_stale_temps()
 
@@ -108,9 +118,12 @@ class CacheStore:
     def load(self, key: tuple) -> Optional[np.ndarray]:
         """Read the array stored for ``key``, or ``None`` when absent.
 
-        A corrupt or truncated file (e.g. a machine lost power mid-write
-        before the atomic rename ever happened) reads as a miss, so the
-        caller falls back to synthesis rather than crashing.
+        A corrupt or truncated file — a machine lost power mid-write, or
+        a torn write that survived its rename — reads as a miss AND is
+        reaped (counted in :attr:`corrupt_evictions`), so the caller
+        falls back to synthesis and the next reader is not tripped by the
+        same bad bytes. A mid-sweep corrupt entry therefore costs one
+        resynthesis, never an exception out of the sweep.
         """
         path = self.path_for(key)
         if not path.exists():
@@ -121,9 +134,19 @@ class CacheStore:
                 if stored_key != repr(key):
                     # A digest collision is astronomically unlikely; treat
                     # it as a miss instead of returning the wrong waveform.
+                    # NOT corruption — the file is someone else's valid
+                    # entry, so it is left in place.
                     return None
                 return archive["value"]
+        except FileNotFoundError:
+            # Raced a concurrent clear()/eviction — a plain miss.
+            return None
         except (OSError, ValueError, KeyError, zipfile.BadZipFile, EOFError):
+            self.corrupt_evictions += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass  # a concurrent reader already reaped it
             return None
 
     def save(self, key: tuple, value: np.ndarray) -> Path:
@@ -142,7 +165,32 @@ class CacheStore:
             except OSError:
                 pass
             raise
+        self._maybe_corrupt(path)
         return path
+
+    def _maybe_corrupt(self, path: Path) -> None:
+        """Chaos hook: tear the just-renamed entry when a fault targets it.
+
+        ``REPRO_FAULTS=corrupt-cache:<ordinal>`` truncates this store
+        instance's ``ordinal``-th save to half its bytes *after* the
+        atomic rename — the signature of a writer that renamed but lost
+        power before its data blocks hit disk. Ordinals advance
+        monotonically, so the fault fires exactly once per instance: the
+        resynthesized replacement entry lands on a later ordinal, is
+        written intact, and the chaos run converges.
+        """
+        from repro.engine.faults import active_plan
+
+        ordinal = self._save_ordinal
+        self._save_ordinal += 1
+        if not active_plan().corrupt_save(ordinal):
+            return
+        try:
+            size = path.stat().st_size
+            with open(path, "r+b") as handle:
+                handle.truncate(max(1, size // 2))
+        except OSError:  # pragma: no cover - entry raced away mid-fault
+            pass
 
     def __len__(self) -> int:
         return sum(1 for path in self.directory.glob("*.npz") if not _is_temp(path))

@@ -48,8 +48,59 @@ class LauncherError(ReproError):
     """The distributed sweep launcher could not complete a shard.
 
     Raised when a shard keeps failing (worker crash or an exception in the
-    measure) past the launcher's retry budget. The engine's seed
-    discipline makes a retried shard bit-identical to the original, so a
-    shard that fails identically on every attempt is a deterministic bug,
-    not transient bad luck — retrying further would loop forever.
+    measure) past the launcher's retry budget *and* the in-process
+    degradation pass could not salvage the range either. The engine's
+    seed discipline makes a retried shard bit-identical to the original,
+    so a shard that fails identically on every attempt is a deterministic
+    bug, not transient bad luck — retrying further would loop forever.
+
+    Beyond the message, the exception carries structured provenance so a
+    caller (or an operator reading a service log) can pinpoint the
+    failing work and salvage what completed:
+
+    Attributes:
+        scenario: name of the scenario whose launch failed.
+        shard_id: id of the shard that exhausted its retries.
+        point_range: the ``(start, stop)`` half-open global point range
+            of that shard.
+        attempts: how many times the range was attempted before giving
+            up (re-queues + the final in-process salvage).
+        exit_codes: exit codes of every worker death observed during the
+            launch (empty when workers failed by reporting measure
+            errors rather than dying).
+        partial_result: a *partial-grid*
+            :class:`~repro.engine.results.SweepResult` holding every
+            point that did complete (merged via
+            ``SweepResult.merge(..., partial=True)``), or ``None`` when
+            nothing completed. Full-grid accessors (``series`` /
+            ``grid`` / ``value_at``) refuse it; iterate it or call
+            ``to_table()`` to salvage the covered points.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        scenario: str = "",
+        shard_id: int = -1,
+        point_range: tuple = (-1, -1),
+        attempts: int = 0,
+        exit_codes: tuple = (),
+        partial_result: object = None,
+    ) -> None:
+        super().__init__(message)
+        self.scenario = scenario
+        self.shard_id = shard_id
+        self.point_range = tuple(point_range)
+        self.attempts = attempts
+        self.exit_codes = tuple(exit_codes)
+        self.partial_result = partial_result
+
+
+class JournalError(ReproError):
+    """A job journal could not be read back.
+
+    Raised on structurally corrupt journals: a record of an unknown
+    version, or an undecodable line *before* the final one (a torn final
+    line is the expected crash signature and is tolerated silently).
     """

@@ -20,6 +20,7 @@ from repro.data.ber import bit_error_rate
 from repro.data.fdm import FdmFskModem
 from repro.data.mrc import mrc_combine
 from repro.engine import launch_sweep
+from repro.engine.launcher import RetryPolicy
 from repro.experiments import fig09_mrc as fig09
 from repro.utils.rand import RngLike
 
@@ -39,6 +40,7 @@ def run(
     shard_points: Optional[int] = None,
     shard_deadline_s: Optional[float] = None,
     cache_dir: Optional[str] = None,
+    retry_policy: Optional[RetryPolicy] = None,
     rng: RngLike = None,
 ) -> Dict[str, object]:
     """Fig. 9 BER-vs-distance per MRC factor, executed across workers.
@@ -67,6 +69,7 @@ def run(
         shard_points=shard_points,
         shard_deadline_s=shard_deadline_s,
         cache_dir=cache_dir,
+        retry_policy=retry_policy,
     )
     result = report.result
     bits = result.data["bits"]
@@ -88,6 +91,9 @@ def run(
         "failures": report.failures,
         "stragglers": report.stragglers,
         "duplicates": report.duplicates,
+        "degraded": report.degraded,
+        "degraded_points": report.degraded_points,
+        "exit_codes": list(report.exit_codes),
         "wall_s": report.wall_s,
         "points_elapsed_s": result.elapsed_s,
         "cache": result.cache_stats,

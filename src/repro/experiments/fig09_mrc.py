@@ -9,6 +9,7 @@ already collapses the BER.
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, List, Sequence
 
 from repro.data.ber import bit_error_rate
@@ -33,6 +34,17 @@ def received_payload_channel(run: PointRun):
     return run.chain.payload_channel(run.received)
 
 
+def prepare_payload(gen, modem: FdmFskModem, n_bits: int):
+    """The shared payload: ``n_bits`` random bits, FDM-FSK modulated.
+
+    Module level (bound via ``functools.partial``) so the whole scenario
+    — ``prepare`` included — pickles, which is what lets a journaled
+    :class:`~repro.engine.service.SweepService` rebuild and resume the
+    job from its journal file alone."""
+    bits = random_bits(n_bits, child_generator(gen, "payload"))
+    return {"bits": bits, "waveform": modem.modulate(bits)}
+
+
 def build_scenario(
     modem: FdmFskModem,
     distances_ft: Sequence[float] = DEFAULT_DISTANCES_FT,
@@ -49,10 +61,6 @@ def build_scenario(
     backend vectorizes every point.
     """
 
-    def prepare(gen):
-        bits = random_bits(n_bits, child_generator(gen, "payload"))
-        return {"bits": bits, "waveform": modem.modulate(bits)}
-
     # Each repetition must hear *different* program audio (that is what
     # MRC averages out), so the ambient cache key carries the repetition
     # index; each of the max_factor ambient variants is synthesized once
@@ -62,7 +70,7 @@ def build_scenario(
         sweep=SweepSpec.grid(
             distance_ft=tuple(distances_ft), rep=tuple(range(max_factor))
         ),
-        prepare=prepare,
+        prepare=functools.partial(prepare_payload, modem=modem, n_bits=n_bits),
         base_chain={
             "program": program,
             "power_dbm": power_dbm,

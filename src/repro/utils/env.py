@@ -75,6 +75,20 @@ def fast_numerics() -> bool:
     return numerics_mode() == "fast"
 
 
+def env_list(name: str) -> tuple:
+    """Read a comma-separated list knob: stripped items, empties dropped.
+
+    Purely lexical — item-level validation (fault grammars, choice sets)
+    belongs to the caller, which knows what an item means and can raise a
+    :class:`~repro.errors.ConfigurationError` naming both the variable
+    and the offending item.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return ()
+    return tuple(item.strip() for item in raw.split(",") if item.strip())
+
+
 def env_int(
     name: str,
     default: int,

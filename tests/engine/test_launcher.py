@@ -18,6 +18,7 @@ from repro.engine import Scenario, SweepRunner, SweepSpec, launch_sweep
 from repro.engine.launcher import (
     FAULT_ENV_VAR,
     SHARD_POINTS_ENV_VAR,
+    RetryPolicy,
     Shard,
     default_shard_points,
     fault_spec,
@@ -170,6 +171,26 @@ class TestFailureModes:
         with pytest.raises(LauncherError, match="gave up after"):
             launch_sweep(scenario, rng=SEED, n_workers=2, max_retries=1)
 
+    def test_launcher_error_carries_structured_provenance(self):
+        # One worker serializes completion order: the first shard (a=1)
+        # lands before the second (a=2) fails, so the partial result is
+        # deterministic salvage, not a race.
+        scenario = rng_scenario(measure=_explode, bad_a=2)
+        with pytest.raises(LauncherError) as excinfo:
+            launch_sweep(
+                scenario, rng=SEED, n_workers=1, shard_points=2, max_retries=0
+            )
+        error = excinfo.value
+        assert error.scenario == "launch"
+        assert error.shard_id >= 0
+        assert error.point_range == (2, 4)  # the a=2 row, grid order
+        assert error.attempts == 1
+        assert error.exit_codes == ()  # the worker erred, it didn't die
+        partial = error.partial_result
+        assert partial is not None
+        assert [p.index for p in partial.points] == [0, 1]
+        assert partial.values == [1, 1]  # _explode returns point["a"]
+
     def test_unpicklable_scenario_rejected_up_front(self):
         closure = Scenario(
             name="closure",
@@ -228,6 +249,76 @@ class TestSharedStore:
         assert warm.result.cache_stats["disk_hits"] > 0
         for ours, reference in zip(warm.result.values, cold.result.values):
             assert np.array_equal(ours, reference)
+
+
+class TestRetryPolicy:
+    def test_defaults_match_the_legacy_knob(self):
+        assert RetryPolicy().max_retries == 2
+        assert RetryPolicy().backoff_base_s == 0.0  # immediate re-dispatch
+        assert RetryPolicy(max_retries=7).backoff_s(0, 4, 3) == 0.0
+
+    def test_backoff_is_exponential_capped_and_deterministic(self):
+        policy = RetryPolicy(
+            backoff_base_s=0.1, backoff_factor=2.0, backoff_max_s=0.3,
+            jitter_frac=0.0,
+        )
+        assert policy.backoff_s(0, 4, 0) == pytest.approx(0.1)
+        assert policy.backoff_s(0, 4, 1) == pytest.approx(0.2)
+        assert policy.backoff_s(0, 4, 5) == pytest.approx(0.3)  # capped
+        jittered = RetryPolicy(backoff_base_s=0.1, jitter_frac=0.5)
+        # Deterministic jitter: same range + attempt -> same delay,
+        # different ranges de-synchronize.
+        assert jittered.backoff_s(0, 4, 1) == jittered.backoff_s(0, 4, 1)
+        assert jittered.backoff_s(0, 4, 1) != jittered.backoff_s(4, 8, 1)
+
+    def test_validation_rejects_nonsense(self):
+        for bad in (
+            RetryPolicy(max_retries=-1),
+            RetryPolicy(backoff_base_s=-0.1),
+            RetryPolicy(backoff_factor=0.5),
+            RetryPolicy(jitter_frac=1.5),
+            RetryPolicy(job_deadline_s=0.0),
+        ):
+            with pytest.raises(ConfigurationError):
+                bad.validate()
+        with pytest.raises(ConfigurationError):
+            launch_sweep(
+                rng_scenario(), rng=SEED,
+                retry_policy=RetryPolicy(max_retries=-2),
+            )
+
+    def test_backoff_delays_the_retry_but_not_the_bits(self):
+        serial = SweepRunner(rng_scenario(), rng=SEED, backend="serial").run()
+        report = launch_sweep(
+            rng_scenario(), rng=SEED, n_workers=2, shard_points=3,
+            retry_policy=RetryPolicy(max_retries=2, backoff_base_s=0.05),
+        )
+        assert report.result.values == serial.values
+
+
+class TestDegradation:
+    def test_job_deadline_salvages_in_process(self):
+        # A stalling row would blow any tight wall-clock budget; the
+        # deadline fires and the parent finishes the grid serially —
+        # complete, bit-identical, flagged degraded.
+        serial = SweepRunner(
+            rng_scenario(measure=_slow_draw, slow_a=1, sleep_s=0.0),
+            rng=SEED, backend="serial",
+        ).run()
+        report = launch_sweep(
+            rng_scenario(measure=_slow_draw, slow_a=1, sleep_s=0.8),
+            rng=SEED, n_workers=2, shard_points=2,
+            retry_policy=RetryPolicy(job_deadline_s=0.2),
+        )
+        assert report.degraded
+        assert report.degraded_points >= 1
+        assert report.result.values == serial.values
+
+    def test_clean_run_is_not_degraded(self):
+        report = launch_sweep(rng_scenario(), rng=SEED, n_workers=2)
+        assert not report.degraded
+        assert report.degraded_points == 0
+        assert report.resumed_points == 0
 
 
 class TestDistributedDriver:

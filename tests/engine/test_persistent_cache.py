@@ -46,6 +46,30 @@ class TestCacheStore:
         store.path_for(key).write_bytes(b"not a zipfile")
         assert store.load(key) is None
 
+    def test_corrupt_file_is_reaped_and_counted(self, tmp_path):
+        # A torn entry must never raise out of a sweep: it reads as a
+        # miss, the file is removed (so the re-synthesis can re-spill a
+        # good copy), and the eviction is counted for telemetry.
+        store = CacheStore(tmp_path)
+        key = ("k",)
+        store.save(key, np.zeros(4))
+        path = store.path_for(key)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert store.load(key) is None
+        assert store.corrupt_evictions == 1
+        assert not path.exists()
+        # The next save-load cycle is healthy again.
+        store.save(key, np.ones(4))
+        assert np.array_equal(store.load(key), np.ones(4))
+        assert store.corrupt_evictions == 1
+
+    def test_missing_file_is_a_miss_not_a_corruption(self, tmp_path):
+        # A concurrent clear/eviction between exists() and open() is a
+        # plain race, not damage — it must not move the corruption gauge.
+        store = CacheStore(tmp_path)
+        assert store.load(("absent",)) is None
+        assert store.corrupt_evictions == 0
+
     def test_key_mismatch_reads_as_miss(self, tmp_path):
         # A digest collision would otherwise serve the wrong waveform.
         store = CacheStore(tmp_path)
@@ -53,6 +77,30 @@ class TestCacheStore:
         store.save(a, np.ones(4))
         os.replace(store.path_for(a), store.path_for(b))
         assert store.load(b) is None
+        # Someone else's *valid* entry is not corrupt: no reap, no count.
+        assert store.corrupt_evictions == 0
+        assert store.path_for(b).exists()
+
+    def test_corrupt_cache_fault_tears_the_targeted_save(self, tmp_path, monkeypatch):
+        from repro.engine.faults import FAULTS_ENV_VAR
+
+        monkeypatch.setenv(FAULTS_ENV_VAR, "corrupt-cache:0")
+        store = CacheStore(tmp_path)
+        store.save(("first",), np.zeros(8))   # save ordinal 0: torn
+        store.save(("second",), np.ones(8))   # later ordinals intact
+        assert store.load(("first",)) is None
+        assert store.corrupt_evictions == 1
+        assert np.array_equal(store.load(("second",)), np.ones(8))
+
+    def test_ambient_cache_stats_surface_corrupt_evictions(self, tmp_path):
+        store = CacheStore(tmp_path)
+        cache = AmbientCache(store=store)
+        assert cache.stats["corrupt_evictions"] == 0
+        key = ("k",)
+        store.save(key, np.zeros(4))
+        store.path_for(key).write_bytes(b"junk")
+        store.load(key)
+        assert cache.stats["corrupt_evictions"] == 1
 
     def test_clear_removes_entries(self, tmp_path):
         store = CacheStore(tmp_path)
@@ -127,6 +175,7 @@ class TestAmbientCacheSpill:
         assert np.array_equal(a, b)
         assert second.cache.stats == {
             "hits": 0, "misses": 1, "items": 1, "disk_hits": 1, "syntheses": 0,
+            "corrupt_evictions": 0,
         }
 
     def test_stats_without_store_keep_legacy_shape(self):

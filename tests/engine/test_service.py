@@ -8,6 +8,7 @@ job after the first performs zero syntheses.
 """
 
 import asyncio
+import os
 
 import numpy as np
 import pytest
@@ -120,6 +121,60 @@ class TestSubmitStatusFetch:
         a, b = asyncio.run(drive())
         assert a != b
         assert a.startswith("svc-") and b.startswith("svc-")
+
+
+class TestClose:
+    def test_close_with_job_in_flight_drains_it(self, tmp_path):
+        # close() while the launch is still running: the job must be
+        # drained through the launcher's own shutdown path (not orphaned,
+        # not killed mid-write), the scratch spill dir removed, and the
+        # job fetchable afterwards.
+        journal_dir = tmp_path / "jobs"
+
+        async def drive():
+            service = SweepService(
+                n_workers=2, shard_points=2, journal_dir=str(journal_dir)
+            )
+            scratch = service._scratch
+            job_id = await service.submit(rng_scenario(), rng=SEED)
+            # No fetch: the launch is (at best) just starting when close
+            # runs. close() must wait it out.
+            await service.close()
+            return service, job_id, scratch
+
+        service, job_id, scratch = asyncio.run(drive())
+        status = service.status(job_id)
+        assert status.state == "done"
+        assert status.points_done == status.points_total == 6
+        assert scratch is not None and not os.path.exists(scratch)
+        # The journal recorded the drained job's terminal state, so a
+        # restart would not resume it.
+        from repro.engine.journal import JobJournal
+
+        assert JobJournal(journal_dir).replay_job(job_id).finished
+
+    def test_second_close_is_a_no_op(self):
+        async def drive():
+            service = SweepService(n_workers=1)
+            job_id = await service.submit(rng_scenario(), rng=SEED)
+            await service.fetch(job_id)
+            await service.close()
+            first_scratch_gone = service._scratch is None
+            await service.close()  # must not raise, must not re-gather
+            return first_scratch_gone
+
+        assert asyncio.run(drive())
+
+    def test_close_before_any_submit(self):
+        async def drive():
+            service = SweepService(n_workers=1)
+            scratch = service._scratch
+            await service.close()
+            await service.close()
+            return scratch
+
+        scratch = asyncio.run(drive())
+        assert not os.path.exists(scratch)
 
 
 class TestFailures:
